@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper (scaled
+instance, see EXPERIMENTS.md), records the produced rows in
+``benchmark.extra_info`` and asserts the paper's *shape* claims (who
+wins, ordering, crossovers).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def record_rows(benchmark, label, rows):
+    """Attach experiment rows to the benchmark report."""
+    benchmark.extra_info[label] = rows

@@ -1,0 +1,49 @@
+"""Benchmark regenerating Table 2 (sparse linear problem).
+
+Paper: sync MPI 914 s (1.00) / async PM2 551 s (1.66) /
+async MPI/Mad 672 s (1.36) / async OmniORB 507 s (1.80).
+Shape asserted here: every asynchronous environment beats the
+synchronous baseline; OmniORB leads the asynchronous pack; all runs
+converge to the true solution.
+"""
+
+import pytest
+
+from repro.experiments.table2 import Table2Config, format_table2, run_table2
+
+#: Smaller instance so the benchmark repeats in reasonable time.
+BENCH_CONFIG = Table2Config(n=1200, n_ranks=6, stability_count=10)
+
+
+def _shape_checks(outcome):
+    rows = {r.version: r for r in outcome["rows"]}
+    sync = rows["sync MPI"]
+    asyncs = [rows[v] for v in ("async PM2", "async MPI/Mad", "async OmniOrb 4")]
+    for row in outcome["rows"]:
+        assert row.converged, f"{row.version} did not converge"
+        assert row.solution_error < 1e-3
+    # Every asynchronous version beats synchronous MPI.
+    for row in asyncs:
+        assert row.execution_time < sync.execution_time, (
+            f"{row.version} slower than sync MPI"
+        )
+    # OmniORB 4 leads on the all-to-all problem (paper: 507 s, ratio 1.80).
+    orb = rows["async OmniOrb 4"]
+    assert orb.execution_time <= min(r.execution_time for r in asyncs) * 1.001
+    return rows
+
+
+def test_table2_benchmark(benchmark):
+    outcome = benchmark.pedantic(run_table2, args=(BENCH_CONFIG,), rounds=1, iterations=1)
+    rows = _shape_checks(outcome)
+    benchmark.extra_info["table2"] = {
+        version: {
+            "sim_time_s": round(row.execution_time, 3),
+            "speed_ratio": round(row.speed_ratio, 3),
+            "paper_time_s": outcome["paper"][version][0],
+            "paper_ratio": outcome["paper"][version][1],
+        }
+        for version, row in rows.items()
+    }
+    print()
+    print(format_table2(outcome))

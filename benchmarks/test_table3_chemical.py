@@ -1,0 +1,58 @@
+"""Benchmark regenerating Table 3 (non-linear chemical problem).
+
+Paper (Ethernet): sync 2510 s vs async 563-595 s (ratios 4.22-4.46),
+OmniORB slowest of the asynchronous trio.
+Paper (Ethernet+ADSL): sync 3042 s vs async 605-664 s (4.58-5.03).
+Shape asserted: async >> sync on both clusters; OmniORB trails PM2 and
+MPI/Mad on the Ethernet cluster; everything slows down behind ADSL.
+"""
+
+import pytest
+
+from repro.experiments.table3 import Table3Config, format_table3, run_table3
+
+BENCH_CONFIG = Table3Config(nx=24, nz=36, t_end=540.0, n_ranks=6)
+
+
+def _shape_checks(outcome):
+    for cluster, rows in outcome["clusters"].items():
+        by_version = {r.version: r for r in rows}
+        sync = by_version["sync MPI"]
+        for row in rows:
+            assert row.converged, f"{cluster}/{row.version} did not converge"
+            assert row.solution_error < 1e-3
+            if row.version != "sync MPI":
+                # The asynchronous versions win by a clear margin.
+                assert row.speed_ratio > 1.5, (
+                    f"{cluster}/{row.version} ratio {row.speed_ratio}"
+                )
+    ethernet = {r.version: r for r in outcome["clusters"]["Ethernet"]}
+    # OmniORB trails the other asynchronous versions on the
+    # neighbour-exchange problem (paper: 595 vs 563/565).
+    assert ethernet["async OmniOrb 4"].execution_time >= min(
+        ethernet["async PM2"].execution_time,
+        ethernet["async MPI/Mad"].execution_time,
+    )
+    # The ADSL cluster is slower for everyone.
+    adsl = {r.version: r for r in outcome["clusters"]["Ethernet+ADSL"]}
+    for version in ethernet:
+        assert adsl[version].execution_time > ethernet[version].execution_time
+
+
+def test_table3_benchmark(benchmark):
+    outcome = benchmark.pedantic(run_table3, args=(BENCH_CONFIG,), rounds=1, iterations=1)
+    _shape_checks(outcome)
+    benchmark.extra_info["table3"] = {
+        cluster: {
+            r.version: {
+                "sim_time_s": round(r.execution_time, 3),
+                "speed_ratio": round(r.speed_ratio, 3),
+                "paper_time_s": outcome["paper"][cluster][r.version][0],
+                "paper_ratio": outcome["paper"][cluster][r.version][1],
+            }
+            for r in rows
+        }
+        for cluster, rows in outcome["clusters"].items()
+    }
+    print()
+    print(format_table3(outcome))

@@ -1,0 +1,86 @@
+"""Benchmarks for Table 1 (parameters), Table 4 (thread policies) and
+Figures 1-2 (execution flows), plus the qualitative sections 5.2/5.3/6."""
+
+import pytest
+
+from repro.clusters import local_cluster
+from repro.envs import (
+    aiac_suitability,
+    all_environments,
+    deployment_ranking,
+    validate_deployment,
+)
+from repro.experiments.figures12 import FlowConfig, format_flows, run_execution_flows
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table4 import format_table4, run_table4
+
+
+def test_table1_parameters_benchmark(benchmark):
+    outcome = benchmark(run_table1)
+    checks = outcome["checks"]
+    assert checks["off_diagonals"] == 30
+    assert checks["spectral_radius_below_one"]
+    assert checks["paper_n_steps"] == 12
+    benchmark.extra_info["checks"] = {
+        k: (bool(v) if isinstance(v, bool) else v) for k, v in checks.items()
+    }
+    print()
+    print(format_table1(outcome))
+
+
+def test_table4_thread_policies_benchmark(benchmark):
+    outcome = benchmark(run_table4)
+    assert outcome["all_match"]
+    benchmark.extra_info["all_rows_match_paper"] = True
+    print()
+    print(format_table4(outcome))
+
+
+def test_figures12_execution_flows_benchmark(benchmark):
+    outcome = benchmark.pedantic(
+        run_execution_flows, args=(FlowConfig(),), rounds=1, iterations=1
+    )
+    sisc = outcome["figure1_sisc"]
+    aiac = outcome["figure2_aiac"]
+    # Figure 1: idle gaps between SISC iterations on every processor.
+    assert all(len(g) > 3 for g in sisc["idle_gaps"].values())
+    # Figure 2: no idle gaps between AIAC iterations.
+    assert all(len(g) == 0 for g in aiac["idle_gaps"].values())
+    assert min(aiac["utilisation"].values()) > 0.85
+    assert max(sisc["utilisation"].values()) < 0.60
+    benchmark.extra_info["utilisation"] = {
+        "sisc": {str(r): round(u, 3) for r, u in sisc["utilisation"].items()},
+        "aiac": {str(r): round(u, 3) for r, u in aiac["utilisation"].items()},
+    }
+    print()
+    print(format_flows(outcome))
+
+
+def test_section53_deployment_benchmark(benchmark):
+    """Section 5.3: OmniORB easiest to deploy across constrained grids."""
+    def run():
+        cluster = local_cluster(n_hosts=9)
+        return {
+            env.name: validate_deployment(env, cluster) for env in all_environments()
+        }
+
+    plans = benchmark(run)
+    assert all(plan.ok for plan in plans.values())
+    benchmark.extra_info["effort_scores"] = {
+        name: plan.effort_score for name, plan in plans.items()
+    }
+
+
+def test_section6_feature_checklist_benchmark(benchmark):
+    """Section 6: the three multi-threaded environments qualify."""
+    verdicts = benchmark(
+        lambda: {env.name: aiac_suitability(env) for env in all_environments()}
+    )
+    assert verdicts["pm2"]["suitable"]
+    assert verdicts["mpimad"]["suitable"]
+    assert verdicts["omniorb"]["suitable"]
+    assert not verdicts["sync_mpi"]["suitable"]
+    benchmark.extra_info["verdicts"] = {
+        k: {"suitable": v["suitable"], "missing": v["missing"]}
+        for k, v in verdicts.items()
+    }

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Regenerate the paper's comparison tables and figures in one go.
+
+Runs scaled versions of Table 2 (sparse linear problem), Table 3
+(non-linear problem on two clusters), Table 4 (thread policies),
+Figures 1-2 (execution flows) and the qualitative sections
+(deployment validation, AIAC feature checklist).
+
+Run:  python examples/environment_comparison.py        (~1-2 minutes)
+"""
+
+from repro.clusters import local_cluster
+from repro.envs import all_environments, aiac_suitability, validate_deployment
+from repro.experiments import (
+    FlowConfig,
+    Table2Config,
+    Table3Config,
+    format_flows,
+    format_table2,
+    format_table3,
+    format_table4,
+    run_execution_flows,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+
+def main() -> None:
+    print(format_table2(run_table2(Table2Config(n=1200, n_ranks=6))))
+    print()
+    print(format_table3(run_table3(Table3Config(nx=24, nz=36, t_end=540.0, n_ranks=6))))
+    print()
+    print(format_table4(run_table4()))
+    print()
+    print(format_flows(run_execution_flows(FlowConfig())))
+    print()
+
+    print("Section 5.3 -- deployment effort on the local cluster:")
+    cluster = local_cluster(n_hosts=9)
+    for env in all_environments():
+        plan = validate_deployment(env, cluster)
+        print(f"  {env.display_name:<16s} ok={plan.ok} effort={plan.effort_score} "
+              f"daemons={list(plan.required_daemons)} "
+              f"manual_steps={len(plan.manual_steps)}")
+    print()
+    print("Section 6 -- AIAC suitability checklist:")
+    for env in all_environments():
+        verdict = aiac_suitability(env)
+        missing = ", ".join(verdict["missing"]) or "none"
+        print(f"  {env.display_name:<16s} suitable={verdict['suitable']} "
+              f"missing: {missing}")
+
+
+if __name__ == "__main__":
+    main()

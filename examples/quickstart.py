@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: solve a sparse linear system with AIAC vs SISC.
+
+Builds the paper's first test problem (a multi-diagonal, diagonally
+dominant system, Section 4.1), simulates the classical synchronous MPI
+version and the asynchronous PM2 version on a small grid of three
+distant sites, and compares times, iteration counts and accuracy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AIACOptions, simulate
+from repro.clusters import ethernet_wan
+from repro.envs import get_environment
+from repro.problems import make_sparse_linear_problem
+
+
+def main() -> None:
+    # 1. A problem instance: A x = b with 30 spread sub-diagonals and a
+    #    Jacobi spectral radius below one (the AIAC convergence condition).
+    problem = make_sparse_linear_problem(n=1200, dominance=0.9, eps=1e-6)
+    print(f"problem: n={problem.n}, Jacobi spectral bound="
+          f"{problem.spectral_bound():.3f}")
+    sequential = problem.solve_sequential()
+    print(f"sequential gradient descent: {sequential.iterations} iterations\n")
+
+    # 2. A grid: 6 heterogeneous machines on 3 sites, 10 Mb inter-site
+    #    links (the paper's first test cluster, scaled).
+    n_ranks = 6
+    opts = AIACOptions(eps=1e-6, stability_count=10, max_iterations=20_000)
+
+    for env_name, worker in [("sync_mpi", "sisc"), ("pm2", "aiac")]:
+        env = get_environment(env_name)
+        network = ethernet_wan(
+            n_hosts=n_ranks, n_sites=3, speed_scale=0.003, wan_latency=0.018
+        )
+        result = simulate(
+            problem.make_local,
+            n_ranks,
+            network,
+            env.comm_policy("sparse_linear", n_ranks),
+            worker=worker,
+            opts=opts,
+        )
+        error = problem.solution_error(result.solution())
+        print(
+            f"{env.display_name:<14s} simulated time {result.makespan:8.2f} s | "
+            f"max iterations {result.max_iterations:5d} | "
+            f"converged {result.converged} | error {error:.2e}"
+        )
+
+    print("\nThe asynchronous version overlaps communication with "
+          "computation and needs no per-iteration synchronisation: it "
+          "finishes first despite doing more (cheaper) iterations.")
+
+
+if __name__ == "__main__":
+    main()

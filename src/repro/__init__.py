@@ -1,0 +1,50 @@
+"""repro -- reproduction of Bahi, Contassot-Vivier & Couturier (2006):
+"Performance comparison of parallel programming environments for
+implementing AIAC algorithms".
+
+Quickstart::
+
+    from repro import simulate, AIACOptions
+    from repro.problems import make_sparse_linear_problem
+    from repro.envs import get_environment
+    from repro.clusters import ethernet_wan
+
+    problem = make_sparse_linear_problem(n=1200)
+    env = get_environment("pm2")
+    net = ethernet_wan(n_hosts=8)
+    result = simulate(
+        problem.make_local, 8, net,
+        env.comm_policy("sparse_linear", 8),
+        worker="aiac",
+        opts=AIACOptions(eps=problem.config.eps),
+    )
+    print(result.makespan, result.converged)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core import (
+    AIACOptions,
+    RunResult,
+    WorkerReport,
+    aiac_stepped_worker,
+    aiac_worker,
+    simulate,
+    sisc_stepped_worker,
+    sisc_worker,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AIACOptions",
+    "RunResult",
+    "WorkerReport",
+    "aiac_worker",
+    "aiac_stepped_worker",
+    "sisc_worker",
+    "sisc_stepped_worker",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Cluster presets modelling the paper's three testbeds (Section 5.1).
+
+* :func:`ethernet_wan` -- heterogeneous machines scattered on three
+  distinct sites connected by 10 Mb Ethernet links;
+* :func:`ethernet_adsl` -- four sites, one of them behind an ADSL link
+  (512 Kb/s down, 128 Kb/s up), "representative of a difficult case
+  (and probably the most common one) of grid environment";
+* :func:`local_cluster` -- a local heterogeneous cluster (100 Mb
+  Ethernet) mixing Duron 800 MHz, Pentium IV 1.7 GHz and Pentium IV
+  2.4 GHz machines, types interleaved in the logical organisation "in
+  order to preserve the scalability feature";
+* :func:`uniform_cluster` -- a homogeneous test cluster.
+"""
+
+from repro.clusters.machines import (
+    DURON_800,
+    MachineSpec,
+    P4_1700,
+    P4_2400,
+    PAPER_MACHINE_MIX,
+)
+from repro.clusters.presets import (
+    ethernet_adsl,
+    ethernet_wan,
+    local_cluster,
+    uniform_cluster,
+)
+
+__all__ = [
+    "MachineSpec",
+    "DURON_800",
+    "P4_1700",
+    "P4_2400",
+    "PAPER_MACHINE_MIX",
+    "ethernet_wan",
+    "ethernet_adsl",
+    "local_cluster",
+    "uniform_cluster",
+]

@@ -1,0 +1,288 @@
+"""AIAC worker coroutines (Section 4.3 of the paper).
+
+An AIAC worker "performs its iterations without caring about the
+progress of the other processors": it drains whatever data messages
+have become visible, integrates them, iterates on its block, offers
+updates to the send scheduler (skip-send rule), tracks its local
+convergence and participates in the centralized global-convergence
+protocol.  The coroutine yields :mod:`repro.simgrid.effects` objects,
+so the same code runs on the discrete-event simulator and on the
+real-thread runtime.
+
+Two variants are provided:
+
+* :func:`aiac_worker` -- single-level iterative problems (the sparse
+  linear system);
+* :func:`aiac_stepped_worker` -- time-stepped problems with an inner
+  iterative process per step and a synchronisation barrier between
+  steps (the non-linear chemical problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Optional, Set
+
+import numpy as np
+
+from repro.core.comm import SendScheduler
+from repro.core.convergence import CoordinatorPanel, LocalConvergenceTracker
+from repro.problems.base import LocalSolver, SteppedLocalSolver
+from repro.simgrid.effects import Barrier, Compute, Drain, Now, Recv, Send, Trace
+
+
+@dataclass(frozen=True)
+class AIACOptions:
+    """Knobs of the AIAC/SISC protocols.
+
+    ``eps`` and ``stability_count`` implement the convergence criterion
+    and oscillation guard of Section 4.3; ``max_iterations`` is the
+    paper's safety limit "to avoid infinite execution when the process
+    does not converge".
+    """
+
+    eps: float = 1e-6
+    stability_count: int = 3
+    max_iterations: int = 10_000
+    coordinator_rank: int = 0
+    state_bytes: float = 24.0
+    stop_bytes: float = 8.0
+    control_bytes: float = 16.0
+    trace_iterations: bool = False
+    # A processor may only *believe* its local convergence after having
+    # received (and integrated) at least one data message from every
+    # one of its dependencies within the current iterative process.
+    # This closes the start-of-step race where a locally quiescent
+    # block declares convergence before its neighbours' transients have
+    # had any chance to reach it -- a strengthening of the paper's
+    # oscillation guard in the same spirit.
+    require_fresh_data: bool = True
+    # Optional sliding-window variant: convergence is only believed if
+    # every dependency has been heard from within the last
+    # ``freshness_window`` iterations.  Useful on the real-thread
+    # backend where OS scheduling can starve a thread for long bursts;
+    # disabled by default because the iteration-to-wall-time ratio of
+    # the simulated experiments varies by regime.
+    freshness_window: Optional[int] = None
+
+
+@dataclass
+class WorkerReport:
+    """What one worker returns at the end of its coroutine."""
+
+    rank: int
+    iterations: int
+    converged: bool
+    stopped_by_coordinator: bool
+    elapsed: float
+    residual: float
+    solution: np.ndarray
+    sends: int = 0
+    skipped_sends: int = 0
+    state_messages: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class _InnerResult:
+    iterations: int
+    converged: bool
+    stopped: bool
+    residual: float
+    sends: int
+    skipped: int
+    state_messages: int
+    meta: Dict[str, Any]
+
+
+def _initial_exchange(solver: LocalSolver, tag: str) -> Generator:
+    """Synchronised startup exchange.
+
+    The paper's first step "consists in computing the dependencies on
+    each processor and communicating them to all others"; only after
+    that does the iterative process begin, so the first iteration
+    starts from consistent data on every processor.
+    """
+    for dst, (payload, nbytes) in sorted(solver.initial_outgoing().items()):
+        yield Send(dst, tag, payload, nbytes)
+    providers = solver.providers()
+    if providers:
+        messages = yield Recv(tag, count=len(providers))
+        for msg in messages:
+            solver.integrate(msg.src, msg.payload)
+
+
+def _aiac_inner(
+    rank: int,
+    size: int,
+    solver: LocalSolver,
+    opts: AIACOptions,
+    suffix: str,
+) -> Generator:
+    """One asynchronous iterative process, run to global convergence.
+
+    Returns an :class:`_InnerResult` (via StopIteration value).
+    """
+    tag_data = f"data{suffix}"
+    tag_state = f"state{suffix}"
+    tag_stop = f"stop{suffix}"
+    coord = opts.coordinator_rank
+    tracker = LocalConvergenceTracker(opts.eps, opts.stability_count)
+    scheduler = SendScheduler()
+    panel = CoordinatorPanel(size) if rank == coord else None
+    state_messages = 0
+    iterations = 0
+    stopped = False
+    last_meta: Dict[str, Any] = {}
+    providers = solver.providers()
+    last_heard: Dict[int, int] = {}
+
+    while iterations < opts.max_iterations:
+        # Receipts happen "at any time" in separate threads; by drain
+        # time every message that became visible is incorporated --
+        # "as soon as data are received, they are taken into account".
+        for msg in (yield Drain(tag_data)):
+            solver.integrate(msg.src, msg.payload)
+            last_heard[msg.src] = iterations
+
+        result = solver.iterate()
+        iterations += 1
+        last_meta = result.meta
+        yield Compute(result.flops)
+        if opts.trace_iterations:
+            yield Trace("iteration", {"rank": rank, "k": iterations, "residual": result.residual})
+
+        # Asynchronous sends under the skip-send rule.
+        for dst, (payload, nbytes) in sorted(result.outgoing.items()):
+            if scheduler.can_send(dst, tag_data):
+                handle = yield Send(dst, tag_data, payload, nbytes)
+                scheduler.record(dst, tag_data, handle)
+            else:
+                scheduler.skip()
+
+        residual = result.residual
+        if opts.require_fresh_data and not providers <= last_heard.keys():
+            residual = float("inf")  # dependencies not heard from yet
+        elif opts.freshness_window is not None and any(
+            iterations - last_heard.get(p, -10**9) > opts.freshness_window
+            for p in providers
+        ):
+            residual = float("inf")  # dependency data too stale to trust
+        changed = tracker.update(residual)
+
+        if rank == coord:
+            if changed:
+                panel.update(rank, iterations, tracker.converged)
+            for msg in (yield Drain(tag_state)):
+                panel.update(*msg.payload)
+            if panel.all_converged():
+                for other in range(size):
+                    if other != rank:
+                        yield Send(other, tag_stop, None, opts.stop_bytes)
+                stopped = True
+                break
+        else:
+            if changed:
+                yield Send(
+                    coord, tag_state,
+                    (rank, iterations, tracker.converged), opts.state_bytes,
+                )
+                state_messages += 1
+            if (yield Drain(tag_stop)):
+                stopped = True
+                break
+
+    return _InnerResult(
+        iterations=iterations,
+        converged=tracker.converged or stopped,
+        stopped=stopped,
+        residual=tracker.last_residual,
+        sends=scheduler.sent,
+        skipped=scheduler.skipped,
+        state_messages=state_messages,
+        meta=last_meta,
+    )
+
+
+def aiac_worker(
+    rank: int,
+    size: int,
+    solver: LocalSolver,
+    opts: Optional[AIACOptions] = None,
+) -> Generator:
+    """AIAC worker for single-level problems (the sparse linear system)."""
+    opts = opts or AIACOptions()
+    start = yield Now()
+    yield from _initial_exchange(solver, "init")
+    yield Barrier()  # "only the first iteration begins at the same time"
+    inner = yield from _aiac_inner(rank, size, solver, opts, suffix="")
+    end = yield Now()
+    return WorkerReport(
+        rank=rank,
+        iterations=inner.iterations,
+        converged=inner.converged,
+        stopped_by_coordinator=inner.stopped,
+        elapsed=end - start,
+        residual=inner.residual,
+        solution=solver.local_solution(),
+        sends=inner.sends,
+        skipped_sends=inner.skipped,
+        state_messages=inner.state_messages,
+        meta=inner.meta,
+    )
+
+
+def aiac_stepped_worker(
+    rank: int,
+    size: int,
+    solver: SteppedLocalSolver,
+    opts: Optional[AIACOptions] = None,
+) -> Generator:
+    """AIAC worker for time-stepped problems (the chemical problem).
+
+    Per Section 4.3: a barrier synchronises all processors at each time
+    step (the concentrations of the previous step must be fully known);
+    *within* a step the computations run asynchronously, terminated by
+    the same centralized convergence detection; then a final halo
+    exchange and barrier prepare the next step.
+    """
+    opts = opts or AIACOptions()
+    start = yield Now()
+    yield from _initial_exchange(solver, "halo:init")
+    total_iterations = 0
+    all_stopped = True
+    residual = float("inf")
+    meta: Dict[str, Any] = {}
+    per_step_iterations = []
+
+    for step in range(solver.n_steps):
+        yield Barrier()
+        solver.begin_step(step)
+        inner = yield from _aiac_inner(rank, size, solver, opts, suffix=f":{step}")
+        # Make the converged boundary data of this step available to
+        # the neighbours before anyone starts the next step.
+        yield from _initial_exchange(solver, f"halo:{step}")
+        solver.end_step(step)
+        total_iterations += inner.iterations
+        all_stopped = all_stopped and inner.stopped
+        residual = inner.residual
+        meta = inner.meta
+        per_step_iterations.append(inner.iterations)
+
+    yield Barrier()
+    end = yield Now()
+    meta = dict(meta)
+    meta["per_step_iterations"] = per_step_iterations
+    return WorkerReport(
+        rank=rank,
+        iterations=total_iterations,
+        converged=all_stopped,
+        stopped_by_coordinator=all_stopped,
+        elapsed=end - start,
+        residual=residual,
+        solution=solver.local_solution(),
+        meta=meta,
+    )
+
+
+__all__ = ["AIACOptions", "WorkerReport", "aiac_worker", "aiac_stepped_worker"]

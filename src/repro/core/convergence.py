@@ -1,0 +1,132 @@
+"""Convergence detection: local trackers and the centralized coordinator.
+
+The paper's protocol (Section 4.3):
+
+* a processor reaches *local convergence* when the residual between two
+  consecutive approximations of its local data falls under the
+  threshold;
+* because of the continuous nature of the computations "oscillations in
+  the residual are possible and then local convergence may be
+  alternatively detected and canceled", so a processor only *believes*
+  its local convergence after a specified number of consecutive
+  under-threshold iterations, and sends its state to the coordinator
+  **only when it changes** (to avoid overloading the network);
+* a *centralized* detector (one designated processor) gathers the
+  states; when every processor is locally converged it broadcasts a
+  stop signal.  The detection work is "a very small computation", so
+  the overloading of the central node is negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class LocalConvergenceTracker:
+    """Tracks one processor's local convergence with an oscillation guard.
+
+    Parameters
+    ----------
+    threshold:
+        Residual threshold (the paper's epsilon of Eq. 5).
+    stability_count:
+        Number of *consecutive* under-threshold iterations required
+        before local convergence is believed.
+    """
+
+    def __init__(self, threshold: float, stability_count: int = 1) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if stability_count < 1:
+            raise ValueError("stability_count must be >= 1")
+        self.threshold = threshold
+        self.stability_count = stability_count
+        self.consecutive_under = 0
+        self.converged = False
+        self.updates = 0
+        self.state_changes = 0
+        self.last_residual = float("inf")
+
+    def update(self, residual: float) -> bool:
+        """Record a new residual; returns True when the state *changed*.
+
+        A state change (either direction) is what triggers a state
+        message to the coordinator.
+        """
+        if residual < 0:
+            raise ValueError("residual must be non-negative")
+        self.updates += 1
+        self.last_residual = residual
+        if residual < self.threshold:
+            self.consecutive_under += 1
+        else:
+            self.consecutive_under = 0
+        new_state = self.consecutive_under >= self.stability_count
+        changed = new_state != self.converged
+        if changed:
+            self.converged = new_state
+            self.state_changes += 1
+        return changed
+
+    def reset(self) -> None:
+        """Re-arm the tracker (new time step of a stepped problem)."""
+        self.consecutive_under = 0
+        self.converged = False
+        self.last_residual = float("inf")
+
+
+@dataclass
+class StateUpdate:
+    """Payload of a state message sent to the coordinator."""
+
+    rank: int
+    iteration: int
+    converged: bool
+
+    def as_tuple(self) -> Tuple[int, int, bool]:
+        return (self.rank, self.iteration, self.converged)
+
+
+class CoordinatorPanel:
+    """The central node's view of everyone's local convergence.
+
+    Keeps, per rank, the most recent (by iteration counter) state seen.
+    Out-of-order delivery is tolerated: stale updates (lower iteration
+    counter than already recorded) are ignored.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+        self._state: List[bool] = [False] * size
+        self._iteration: List[int] = [-1] * size
+        self.messages_processed = 0
+        self.stale_messages = 0
+
+    def update(self, rank: int, iteration: int, converged: bool) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range")
+        self.messages_processed += 1
+        if iteration < self._iteration[rank]:
+            self.stale_messages += 1
+            return
+        self._iteration[rank] = iteration
+        self._state[rank] = converged
+
+    def all_converged(self) -> bool:
+        return all(self._state)
+
+    def converged_count(self) -> int:
+        return sum(self._state)
+
+    def snapshot(self) -> Dict[int, bool]:
+        return {r: s for r, s in enumerate(self._state)}
+
+    def reset(self) -> None:
+        self._state = [False] * self.size
+        self._iteration = [-1] * self.size
+
+
+__all__ = ["LocalConvergenceTracker", "CoordinatorPanel", "StateUpdate"]

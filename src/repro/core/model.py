@@ -1,0 +1,181 @@
+"""The formal asynchronous-iteration model of Section 1.2 (Algorithm 1).
+
+Herz & Marcus' fully asynchronous network dynamic:
+
+* block nodes may be updated in a random order, some not at all at some
+  times, but "no block is permanently idle" -- the activation sets
+  ``J(t)``;
+* at time ``t`` each node uses the *last received* information from its
+  dependencies rather than the time ``t - 1`` values -- the delayed
+  indices ``s^i_j(t) = t - r^i_j(t)``.
+
+This module executes that model exactly (over explicit state
+histories), providing the reference semantics that the distributed
+implementations in :mod:`repro.core.aiac` must agree with, and the
+object of the convergence property tests (contraction + bounded delays
++ fair activations => convergence, per Bertsekas-Tsitsiklis [9] and
+El Tarazi [16]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.linalg.norms import max_norm_diff
+
+
+@dataclass
+class BlockFixedPoint:
+    """A block fixed-point map ``X_i <- G_i(X_1, ..., X_m)``.
+
+    ``apply_block(i, blocks)`` must return the new value of block ``i``
+    given the (possibly stale) values of all blocks.
+    """
+
+    m: int
+    apply_block: Callable[[int, Sequence[np.ndarray]], np.ndarray]
+
+    def apply(self, blocks: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Synchronous application of the whole map (Eq. 2)."""
+        return [self.apply_block(i, blocks) for i in range(self.m)]
+
+
+@dataclass
+class AsyncSchedule:
+    """Activation sets and delays of Algorithm 1.
+
+    ``activations(t)`` returns ``J(t)`` (blocks updated at time t);
+    ``delay(i, j, t)`` returns ``r^i_j(t) >= 0``, the age of block j's
+    data as seen by block i at time t.  Delays are clamped so that
+    ``s = t - r >= 0``.
+    """
+
+    activations: Callable[[int], Set[int]]
+    delay: Callable[[int, int, int], int]
+
+    def validate_against(self, m: int, horizon: int) -> None:
+        """Sanity checks over a finite horizon (used by tests)."""
+        for t in range(horizon):
+            j_t = self.activations(t)
+            if not j_t <= set(range(m)):
+                raise ValueError(f"J({t}) = {j_t} contains unknown blocks")
+            for i in range(m):
+                for j in range(m):
+                    if self.delay(i, j, t) < 0:
+                        raise ValueError(f"negative delay r^{i}_{j}({t})")
+
+
+def synchronous_schedule() -> AsyncSchedule:
+    """All blocks active every step, zero delays: recovers Eq. (2)."""
+    return AsyncSchedule(
+        activations=lambda t: None,  # sentinel meaning "all blocks"
+        delay=lambda i, j, t: 0,
+    )
+
+
+def run_asynchronous(
+    g: BlockFixedPoint,
+    x0: Sequence[np.ndarray],
+    schedule: AsyncSchedule,
+    steps: int,
+    record_history: bool = True,
+) -> List[List[np.ndarray]]:
+    """Execute Algorithm 1 for ``steps`` macro time steps.
+
+    Returns the history ``[X^0, X^1, ..., X^steps]`` where each entry is
+    the list of block values.  At time ``t``:
+
+        X_i^{t+1} = G_i( X_1^{s^i_1(t)}, ..., X_m^{s^i_m(t)} )  if i in J(t)
+        X_i^{t+1} = X_i^t                                        otherwise
+    """
+    if len(x0) != g.m:
+        raise ValueError(f"x0 has {len(x0)} blocks, map has {g.m}")
+    history: List[List[np.ndarray]] = [[np.array(b, dtype=float, copy=True) for b in x0]]
+    for t in range(steps):
+        current = history[-1]
+        j_t = schedule.activations(t)
+        if j_t is None:
+            j_t = set(range(g.m))
+        new_state: List[np.ndarray] = []
+        for i in range(g.m):
+            if i not in j_t:
+                new_state.append(current[i].copy())
+                continue
+            # Assemble the delayed view of every block for node i.
+            view: List[np.ndarray] = []
+            for j in range(g.m):
+                r = schedule.delay(i, j, t)
+                s = max(0, t - r)
+                view.append(history[s][j])
+            new_state.append(np.asarray(g.apply_block(i, view), dtype=float))
+        history.append(new_state)
+        if not record_history and len(history) > 2:
+            # Keep only the window needed for zero-delay runs.
+            history.pop(0)
+    return history
+
+
+def run_synchronous(
+    g: BlockFixedPoint,
+    x0: Sequence[np.ndarray],
+    steps: int,
+) -> List[List[np.ndarray]]:
+    """Classic parallel iteration (SISC semantics, Eq. 2)."""
+    return run_asynchronous(g, x0, synchronous_schedule(), steps)
+
+
+def global_residual(state_a: Sequence[np.ndarray], state_b: Sequence[np.ndarray]) -> float:
+    """Max norm of the difference between two global block states."""
+    return max(
+        (max_norm_diff(a, b) for a, b in zip(state_a, state_b)),
+        default=0.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# canonical schedules for tests and demonstrations
+# ----------------------------------------------------------------------
+def bounded_random_schedule(
+    m: int,
+    max_delay: int,
+    idle_period: int,
+    seed: int = 0,
+) -> AsyncSchedule:
+    """A pseudo-random schedule satisfying the convergence hypotheses.
+
+    * every block is activated at least once every ``idle_period`` steps
+      (no block permanently idle);
+    * all delays are bounded by ``max_delay``.
+    """
+    rng = np.random.default_rng(seed)
+    # Pre-generating with hashing keeps the schedule a pure function.
+    def activations(t: int) -> Set[int]:
+        local = np.random.default_rng((seed, t))
+        active = {i for i in range(m) if local.random() < 0.6}
+        # Guarantee fairness: block (t mod m) is always active on its turn.
+        if idle_period > 0:
+            active.add((t // max(1, idle_period)) % m if idle_period > 1 else t % m)
+            active.add(t % m)
+        return active or {t % m}
+
+    def delay(i: int, j: int, t: int) -> int:
+        if i == j:
+            return 0  # a block always knows its own latest value
+        local = np.random.default_rng((seed, 7919, i, j, t))
+        return int(local.integers(0, max_delay + 1))
+
+    return AsyncSchedule(activations=activations, delay=delay)
+
+
+__all__ = [
+    "BlockFixedPoint",
+    "AsyncSchedule",
+    "synchronous_schedule",
+    "run_asynchronous",
+    "run_synchronous",
+    "global_residual",
+    "bounded_random_schedule",
+]

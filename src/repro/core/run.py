@@ -1,0 +1,109 @@
+"""Binding workers to backends: the `simulate` entry point.
+
+This is the highest-level programmatic API of the library: give it a
+problem, a worker kind, a cluster network and an environment policy and
+it returns the simulated execution time, the per-rank reports and the
+assembled global solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.aiac import AIACOptions, WorkerReport, aiac_worker, aiac_stepped_worker
+from repro.core.sisc import sisc_worker, sisc_stepped_worker
+from repro.problems.base import LocalSolver, SteppedLocalSolver
+from repro.simgrid.comm import CommPolicy
+from repro.simgrid.network import Network
+from repro.simgrid.world import World
+
+WORKERS: Dict[str, Callable] = {
+    "aiac": aiac_worker,
+    "sisc": sisc_worker,
+    "aiac_stepped": aiac_stepped_worker,
+    "sisc_stepped": sisc_stepped_worker,
+}
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated parallel execution."""
+
+    makespan: float
+    reports: Dict[int, WorkerReport]
+    world: World
+
+    @property
+    def converged(self) -> bool:
+        return all(r.converged for r in self.reports.values())
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(r.iterations for r in self.reports.values())
+
+    @property
+    def max_iterations(self) -> int:
+        return max(r.iterations for r in self.reports.values())
+
+    def solution(self) -> np.ndarray:
+        """Concatenate the per-rank local solutions in rank order."""
+        parts = [self.reports[r].solution for r in sorted(self.reports)]
+        return np.concatenate(parts)
+
+    def stats(self) -> dict:
+        return {
+            **self.world.stats(),
+            "converged": self.converged,
+            "iterations_per_rank": {
+                r: rep.iterations for r, rep in sorted(self.reports.items())
+            },
+            "skipped_sends": sum(r.skipped_sends for r in self.reports.values()),
+        }
+
+
+def simulate(
+    make_solver: Callable[[int, int], LocalSolver],
+    n_ranks: int,
+    network: Network,
+    policy: CommPolicy,
+    worker: str = "aiac",
+    opts: Optional[AIACOptions] = None,
+    trace: bool = True,
+    max_events: Optional[int] = None,
+) -> RunResult:
+    """Simulate a parallel run of ``n_ranks`` workers.
+
+    Parameters
+    ----------
+    make_solver:
+        ``(rank, size) -> LocalSolver`` (e.g. ``problem.make_local``).
+    worker:
+        One of ``"aiac"``, ``"sisc"``, ``"aiac_stepped"``,
+        ``"sisc_stepped"``.
+    policy:
+        The communication policy of the programming environment (from
+        :mod:`repro.envs`).
+    """
+    if worker not in WORKERS:
+        raise ValueError(f"unknown worker {worker!r}; choose from {sorted(WORKERS)}")
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    if n_ranks > len(network.hosts):
+        raise ValueError(
+            f"{n_ranks} ranks but only {len(network.hosts)} hosts in the network"
+        )
+    worker_fn = WORKERS[worker]
+    opts = opts or AIACOptions()
+    world = World(network, policy, trace=trace)
+    for rank in range(n_ranks):
+        solver = make_solver(rank, n_ranks)
+        world.spawn(worker_fn(rank, n_ranks, solver, opts))
+    makespan = world.run(max_events=max_events)
+    reports = {rank: report for rank, report in world.results.items()}
+    return RunResult(makespan=makespan, reports=reports, world=world)
+
+
+__all__ = ["RunResult", "simulate", "WORKERS"]

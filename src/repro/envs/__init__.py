@@ -1,0 +1,93 @@
+"""Models of the parallel programming environments compared in the paper.
+
+* :class:`~repro.envs.environments.SyncMPI` -- classical mono-threaded
+  MPI, the synchronous baseline;
+* :class:`~repro.envs.environments.PM2` -- Marcel threads + Madeleine
+  RPC;
+* :class:`~repro.envs.environments.MPIMadeleine` -- the multi-protocol,
+  thread-safe MPICH;
+* :class:`~repro.envs.environments.OmniORB` -- the CORBA ORB.
+
+Plus the qualitative sections of the paper as executable code:
+:mod:`repro.envs.deployment` (Section 5.3),
+:mod:`repro.envs.features` (Section 6) and the ergonomics traits on
+each environment (Section 5.2).
+"""
+
+from typing import Dict, List
+
+from repro.envs.base import (
+    DeploymentTraits,
+    Environment,
+    ErgonomicsTraits,
+    ThreadPolicy,
+    PROBLEM_KINDS,
+)
+from repro.envs.environments import MPIMadeleine, OmniORB, PM2, SyncMPI
+from repro.envs.deployment import (
+    DeploymentPlan,
+    deployment_ranking,
+    validate_deployment,
+)
+from repro.envs.features import FeatureChecklist, aiac_suitability, checklist_for
+
+_REGISTRY: Dict[str, Environment] = {}
+
+
+def register(env: Environment) -> Environment:
+    """Add an environment to the global registry (used by get/all)."""
+    if env.name in _REGISTRY:
+        raise ValueError(f"environment {env.name!r} already registered")
+    _REGISTRY[env.name] = env
+    return env
+
+
+def get_environment(name: str) -> Environment:
+    """Look up an environment model by its short name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown environment {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_environments() -> List[Environment]:
+    """All registered environments, paper baseline first."""
+    order = ["sync_mpi", "pm2", "mpimad", "omniorb"]
+    known = [get_environment(n) for n in order if n in _REGISTRY]
+    extras = [e for n, e in sorted(_REGISTRY.items()) if n not in order]
+    return known + extras
+
+
+def asynchronous_environments() -> List[Environment]:
+    """The three multi-threaded environments compared for AIAC."""
+    return [e for e in all_environments() if e.supports_asynchronous]
+
+
+register(SyncMPI())
+register(PM2())
+register(MPIMadeleine())
+register(OmniORB())
+
+__all__ = [
+    "Environment",
+    "ThreadPolicy",
+    "DeploymentTraits",
+    "ErgonomicsTraits",
+    "PROBLEM_KINDS",
+    "SyncMPI",
+    "PM2",
+    "MPIMadeleine",
+    "OmniORB",
+    "register",
+    "get_environment",
+    "all_environments",
+    "asynchronous_environments",
+    "DeploymentPlan",
+    "validate_deployment",
+    "deployment_ranking",
+    "FeatureChecklist",
+    "checklist_for",
+    "aiac_suitability",
+]

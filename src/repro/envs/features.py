@@ -1,0 +1,100 @@
+"""Section 6 of the paper as an executable checklist.
+
+"Features needed for implementation of AIACs": the paper distils its
+experience into a feature list a programming environment must provide
+to implement AIAC algorithms efficiently.  This module encodes that
+list and scores environment descriptions against it, reproducing the
+paper's qualitative conclusions programmatically (and giving library
+users a way to assess *new* environments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Tuple
+
+from repro.envs.base import Environment
+
+
+@dataclass(frozen=True)
+class FeatureChecklist:
+    """The requirements of Section 6.
+
+    Mandatory core:
+
+    * blocking point-to-point communications,
+    * a multi-threading system,
+    * a *fair* thread scheduler (otherwise some communication threads
+      are never activated and their messages never go out),
+
+    Important for flexible grid deployment:
+
+    * multiple communication protocols in one application,
+    * incomplete connection graphs,
+
+    And for RPC-based systems:
+
+    * receptions in threads activated on demand,
+    * a mutex system for safe data updates (load balancing included).
+    """
+
+    blocking_point_to_point: bool = False
+    multithreading: bool = False
+    fair_scheduler: bool = False
+    multi_protocol: bool = False
+    incomplete_graphs: bool = False
+    on_demand_reception_threads: bool = False
+    mutex_system: bool = False
+
+    MANDATORY = ("blocking_point_to_point", "multithreading", "fair_scheduler")
+    DEPLOYMENT = ("multi_protocol", "incomplete_graphs")
+    RPC_EXTRAS = ("on_demand_reception_threads", "mutex_system")
+
+    def mandatory_met(self) -> bool:
+        return all(getattr(self, name) for name in self.MANDATORY)
+
+    def score(self) -> Tuple[int, int]:
+        """(mandatory met, optional met) feature counts."""
+        mandatory = sum(bool(getattr(self, n)) for n in self.MANDATORY)
+        optional = sum(
+            bool(getattr(self, n)) for n in self.DEPLOYMENT + self.RPC_EXTRAS
+        )
+        return mandatory, optional
+
+    def missing(self) -> List[str]:
+        return [
+            f.name
+            for f in fields(self)
+            if isinstance(getattr(self, f.name), bool) and not getattr(self, f.name)
+        ]
+
+
+def checklist_for(env: Environment) -> FeatureChecklist:
+    """Derive the Section 6 checklist from an environment model."""
+    policy = env.comm_policy("sparse_linear", n_ranks=4)
+    deployment = env.deployment
+    return FeatureChecklist(
+        blocking_point_to_point=True,  # all four tested environments have it
+        multithreading=env.multithreaded,
+        fair_scheduler=policy.fair and env.multithreaded,
+        multi_protocol=deployment.multi_protocol,
+        incomplete_graphs=not deployment.requires_complete_graph,
+        on_demand_reception_threads=policy.n_recv_threads is None,
+        mutex_system=env.multithreaded,  # provided by Marcel / omnithread
+    )
+
+
+def aiac_suitability(env: Environment) -> Dict[str, object]:
+    """Summarise how suited an environment is for AIAC algorithms."""
+    checklist = checklist_for(env)
+    mandatory, optional = checklist.score()
+    return {
+        "environment": env.name,
+        "suitable": checklist.mandatory_met(),
+        "mandatory_features": mandatory,
+        "optional_features": optional,
+        "missing": checklist.missing(),
+    }
+
+
+__all__ = ["FeatureChecklist", "checklist_for", "aiac_suitability"]

@@ -1,0 +1,46 @@
+"""The paper's two test problems (Section 4).
+
+* :mod:`repro.problems.sparse_linear` -- the sparse linear system
+  ``A x = b`` with a multi-diagonal matrix (Table 1: 30 sub-diagonals,
+  spectral radius < 1), solved by fixed-step gradient descent with an
+  all-to-all, dependency-driven communication scheme;
+* :mod:`repro.problems.chemical` -- the non-linear chemical problem: a
+  two-species advection-diffusion system on a 2-D grid (Eqs. 7-10),
+  time-stepped by implicit Euler, each step solved by multisplitting
+  Newton with GMRES as the sequential linear solver, with a
+  nearest-neighbour (strip) communication scheme;
+* :mod:`repro.problems.base` -- the LocalSolver protocols consumed by
+  the AIAC / SISC workers in :mod:`repro.core`.
+"""
+
+from repro.problems.base import (
+    LocalIteration,
+    LocalSolver,
+    SteppedLocalSolver,
+)
+from repro.problems.sparse_linear import (
+    SparseLinearConfig,
+    SparseLinearProblem,
+    PAPER_SPARSE_LINEAR,
+    make_sparse_linear_problem,
+)
+from repro.problems.chemical import (
+    ChemicalConfig,
+    ChemicalProblem,
+    PAPER_CHEMICAL,
+    make_chemical_problem,
+)
+
+__all__ = [
+    "LocalIteration",
+    "LocalSolver",
+    "SteppedLocalSolver",
+    "SparseLinearConfig",
+    "SparseLinearProblem",
+    "PAPER_SPARSE_LINEAR",
+    "make_sparse_linear_problem",
+    "ChemicalConfig",
+    "ChemicalProblem",
+    "PAPER_CHEMICAL",
+    "make_chemical_problem",
+]

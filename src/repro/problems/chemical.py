@@ -1,0 +1,548 @@
+"""The non-linear chemical problem of the paper (Section 4.2).
+
+Evolution of the concentrations of two chemical species in a 2-D
+domain: an advection-diffusion system (Eq. 7)
+
+    dc_i/dt = Kh d2c_i/dx2 + V dc_i/dx + d/dz( Kv(z) dc_i/dz ) + R_i(c1, c2, t)
+
+with the reaction terms, coefficients, diurnal photolysis rates
+q3(t), q4(t) and initial conditions of Eqs. (8)-(10).  This is the
+classical stratospheric ozone "diurnal kinetics" problem; the paper's
+printed beta(z) contains an obvious typo (it would produce negative
+concentrations over the whole domain), so we use the standard form
+``beta(z) = 1 - (0.1 z - 4)^2 + (0.1 z - 4)^4 / 2`` on the usual domain
+x in [0, 20], z in [30, 50] km -- documented in DESIGN.md.
+
+Discretisation: centred finite differences on an ``nx x nz`` grid with
+zero-flux (mirror) boundaries; implicit Euler in time; each time step
+solved by Newton, each Newton correction by matrix-free GMRES
+(Section 4.2).  The parallel decomposition is the paper's: horizontal
+strips along z, nearest-neighbour halo exchange, multisplitting Newton
+(one synchronisation per time step only).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.linalg.gmres import gmres
+from repro.linalg.newton import fd_jacobian_operator
+from repro.linalg.norms import error_weights, weighted_rms
+from repro.linalg.partition import BlockPartition
+from repro.problems.base import LocalIteration, SteppedLocalSolver
+
+BYTES_PER_VALUE = 8.0
+
+# Physical coefficients of Eq. (8) of the paper.
+KH = 4.0e-6
+V_ADV = 1.0e-3
+C3 = 3.7e16
+Q1 = 1.63e-16
+Q2 = 4.66e-16
+A3 = 22.62
+A4 = 7.601
+OMEGA = math.pi / 43200.0
+
+X_MIN, X_MAX = 0.0, 20.0
+Z_MIN, Z_MAX = 30.0, 50.0
+
+
+def kv(z: np.ndarray | float) -> np.ndarray | float:
+    """Vertical diffusivity ``Kv(z) = 1e-8 exp(z / 5)`` (Eq. 8)."""
+    return 1.0e-8 * np.exp(np.asarray(z) / 5.0)
+
+
+def q3(t: float) -> float:
+    """Diurnal photolysis rate ``q3(t) = exp(-a3 / sin(w t))`` (daytime only)."""
+    s = math.sin(OMEGA * t)
+    return math.exp(-A3 / s) if s > 0.0 else 0.0
+
+
+def q4(t: float) -> float:
+    """Diurnal photolysis rate ``q4(t) = exp(-a4 / sin(w t))`` (daytime only)."""
+    s = math.sin(OMEGA * t)
+    return math.exp(-A4 / s) if s > 0.0 else 0.0
+
+
+def alpha(x: np.ndarray) -> np.ndarray:
+    """Horizontal initial profile of Eq. (10)."""
+    u = 0.1 * x - 1.0
+    return 1.0 - u**2 + u**4 / 2.0
+
+
+def beta(z: np.ndarray) -> np.ndarray:
+    """Vertical initial profile (typo-corrected, see module docstring)."""
+    w = 0.1 * z - 4.0
+    return 1.0 - w**2 + w**4 / 2.0
+
+
+@dataclass(frozen=True)
+class ChemicalConfig:
+    """Parameters of the chemical problem (Table 1 + solver knobs)."""
+
+    nx: int = 20
+    nz: int = 20
+    t0: float = 0.0
+    t_end: float = 2160.0        # paper Table 1: time interval 2160 s
+    dt: float = 180.0            # paper Table 1: time step 180 s
+    rtol: float = 1.0e-5         # weighting of the scaled norms
+    atol_c1: float = 1.0e-1      # absolute floors per species (c1 ~ 1e6)
+    atol_c2: float = 1.0e5       # (c2 ~ 1e12)
+    newton_tol: float = 1.0e-6   # scaled norm of G below which Newton stops
+    max_newton_iterations: int = 20
+    inner_eps: float = 1.0e-6    # AIAC convergence threshold on scaled change
+    # Safety cap "to avoid infinite execution when one of these processes
+    # does not converge" (Section 4.3).  Generous on purpose: converged
+    # AIAC workers keep iterating cheaply until the stop signal arrives,
+    # so the cap must comfortably exceed the detection latency.
+    max_inner_iterations: int = 2_000
+    gmres_tol: float = 1.0e-4
+    gmres_restart: int = 20
+    gmres_max_iterations: int = 200
+    stability_count: int = 2
+    paper_reaction_signs: bool = True  # keep the signs exactly as printed
+
+    @property
+    def n_steps(self) -> int:
+        steps = (self.t_end - self.t0) / self.dt
+        n = int(round(steps))
+        if abs(steps - n) > 1e-9 or n < 1:
+            raise ValueError("t_end - t0 must be a positive multiple of dt")
+        return n
+
+    def scaled(self, **kwargs) -> "ChemicalConfig":
+        return replace(self, **kwargs)
+
+
+#: The paper's experiment used a 600 x 600 grid (Table 1).
+PAPER_CHEMICAL = ChemicalConfig(nx=600, nz=600)
+
+
+class ChemicalProblem:
+    """Grid, right-hand side and sequential reference solver."""
+
+    def __init__(self, config: ChemicalConfig) -> None:
+        if config.nx < 3 or config.nz < 3:
+            raise ValueError("grid must be at least 3 x 3")
+        self.config = config
+        self.x = np.linspace(X_MIN, X_MAX, config.nx)
+        self.z = np.linspace(Z_MIN, Z_MAX, config.nz)
+        self.dx = self.x[1] - self.x[0]
+        self.dz = self.z[1] - self.z[0]
+        # Diffusivity at the vertical interfaces z_{g+1/2}, g = -1..nz-1.
+        z_half = np.concatenate(([self.z[0] - self.dz / 2.0], self.z + self.dz / 2.0))
+        self.kv_half = kv(z_half)
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return (2, self.config.nz, self.config.nx)
+
+    @property
+    def n_unknowns(self) -> int:
+        return 2 * self.config.nz * self.config.nx
+
+    def initial_state(self) -> np.ndarray:
+        """Initial concentrations of Eq. (9): c1 = 1e6 a(x) b(z), c2 = 1e12 a(x) b(z)."""
+        a = alpha(self.x)[None, :]
+        b = beta(self.z)[:, None]
+        profile = b * a
+        c = np.empty(self.shape)
+        c[0] = 1.0e6 * profile
+        c[1] = 1.0e12 * profile
+        return c
+
+    def atol_vector(self, rows: int) -> np.ndarray:
+        """Per-component absolute tolerances for a strip of ``rows`` z-rows."""
+        cfg = self.config
+        atol = np.empty((2, rows, cfg.nx))
+        atol[0] = cfg.atol_c1
+        atol[1] = cfg.atol_c2
+        return atol.ravel()
+
+    # ------------------------------------------------------------------
+    # right-hand side
+    # ------------------------------------------------------------------
+    def reaction(self, c: np.ndarray, t: float) -> np.ndarray:
+        """The reaction terms R1, R2 of Eq. (8)."""
+        c1, c2 = c[0], c[1]
+        r3, r4 = q3(t), q4(t)
+        out = np.empty_like(c)
+        out[0] = -Q1 * c1 * C3 - Q2 * c1 * c2 + 2.0 * r3 * C3 + r4 * c2
+        if self.config.paper_reaction_signs:
+            out[1] = Q1 * c1 * C3 - Q2 * c1 * c2 + r4 * c2
+        else:  # the physically standard sign (ozone consumed by photolysis)
+            out[1] = Q1 * c1 * C3 - Q2 * c1 * c2 - r4 * c2
+        return out
+
+    def rhs_strip(
+        self,
+        c: np.ndarray,
+        t: float,
+        z_lo: int,
+        halo_top: Optional[np.ndarray],
+        halo_bottom: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """``f`` of Eq. (11) on rows ``[z_lo, z_lo + rows)``.
+
+        ``halo_top`` is the row at global index ``z_lo - 1`` (``None``
+        at the physical boundary -> zero-flux mirror), ``halo_bottom``
+        the row at ``z_lo + rows``.  ``c`` has shape ``(2, rows, nx)``.
+        """
+        cfg = self.config
+        rows = c.shape[1]
+        if c.shape != (2, rows, cfg.nx):
+            raise ValueError(f"bad strip shape {c.shape}")
+        # --- vertical neighbours (halo or mirror) --------------------
+        top = c[:, 0, :] if halo_top is None else halo_top
+        bottom = c[:, -1, :] if halo_bottom is None else halo_bottom
+        c_up = np.concatenate([top[:, None, :], c[:, :-1, :]], axis=1)     # row g-1
+        c_down = np.concatenate([c[:, 1:, :], bottom[:, None, :]], axis=1)  # row g+1
+        # Interface diffusivities for rows z_lo .. z_lo+rows-1.
+        kv_above = self.kv_half[z_lo + 1 : z_lo + 1 + rows][None, :, None]
+        kv_below = self.kv_half[z_lo : z_lo + rows][None, :, None]
+        vertical = (kv_above * (c_down - c) - kv_below * (c - c_up)) / self.dz**2
+        # Zero-flux at the physical boundaries: cancel the one-sided flux.
+        if halo_top is None and z_lo == 0:
+            vertical[:, 0, :] += (self.kv_half[0] / self.dz**2) * (c[:, 0, :] - top)
+        if halo_bottom is None and z_lo + rows == cfg.nz:
+            vertical[:, -1, :] -= (self.kv_half[cfg.nz] / self.dz**2) * (bottom - c[:, -1, :])
+        # --- horizontal advection-diffusion (mirror boundaries) ------
+        c_left = np.concatenate([c[:, :, 1:2], c[:, :, :-1]], axis=2)
+        c_right = np.concatenate([c[:, :, 1:], c[:, :, -2:-1]], axis=2)
+        horizontal = KH * (c_left - 2.0 * c + c_right) / self.dx**2
+        horizontal += V_ADV * (c_right - c_left) / (2.0 * self.dx)
+        return vertical + horizontal + self.reaction(c, t)
+
+    def rhs(self, c: np.ndarray, t: float) -> np.ndarray:
+        """``f`` on the full grid."""
+        return self.rhs_strip(c, t, 0, None, None)
+
+    def rhs_flops(self, rows: int) -> float:
+        """Analytic flop estimate of one strip RHS evaluation."""
+        return 40.0 * 2.0 * rows * self.config.nx
+
+    def g_diag_strip(
+        self,
+        c: np.ndarray,
+        t: float,
+        z_lo: int,
+        physical_top: bool,
+        physical_bottom: bool,
+    ) -> np.ndarray:
+        """Diagonal of ``dG/dy`` for ``G(y) = y - y_prev - dt f(y)``.
+
+        Analytic: reaction self-derivatives plus the diffusion stencil
+        diagonals.  Used as a Jacobi (right) preconditioner for the
+        inner GMRES solves -- it collapses the huge stiffness spread of
+        the c1 photochemistry (``q1 c3 ~ 6 s^-1`` against transport
+        scales of ``1e-4 s^-1``), without which GMRES stagnates.
+        """
+        cfg = self.config
+        rows = c.shape[1]
+        c1, c2 = c[0], c[1]
+        r4 = q4(t)
+        # Reaction self-derivatives dR_i/dc_i.
+        jac1 = -Q1 * C3 - Q2 * c2
+        if cfg.paper_reaction_signs:
+            jac2 = -Q2 * c1 + r4
+        else:
+            jac2 = -Q2 * c1 - r4
+        # Transport diagonals (mirror boundaries keep the -2 in x).
+        kv_above = self.kv_half[z_lo + 1 : z_lo + 1 + rows].copy()
+        kv_below = self.kv_half[z_lo : z_lo + rows].copy()
+        if physical_top:
+            kv_below[0] = 0.0
+        if physical_bottom:
+            kv_above[-1] = 0.0
+        transport = -2.0 * KH / self.dx**2 - (kv_above + kv_below)[None, :, None] / self.dz**2
+        diag_f = np.empty_like(c)
+        diag_f[0] = jac1
+        diag_f[1] = jac2
+        diag_f += transport
+        return (1.0 - cfg.dt * diag_f).ravel()
+
+    # ------------------------------------------------------------------
+    # sequential reference solver
+    # ------------------------------------------------------------------
+    def step_sequential(
+        self, c: np.ndarray, t_new: float
+    ) -> Tuple[np.ndarray, Dict[str, float]]:
+        """One implicit-Euler step solved by global Newton-GMRES."""
+        cfg = self.config
+        y_prev = c.ravel().copy()
+        scale = cfg.rtol * np.abs(y_prev) + self.atol_vector(cfg.nz)
+        y = y_prev.copy()
+        fevals = 0
+        gmres_iters = 0
+        newton_iters = 0
+        scaled_res = float("inf")
+        for _ in range(cfg.max_newton_iterations):
+            y, info = scaled_newton_update(
+                self, cfg, y, y_prev, t_new,
+                z_lo=0, rows=cfg.nz, halo_top=None, halo_bottom=None, scale=scale,
+            )
+            fevals += info["function_evaluations"]
+            gmres_iters += info["gmres_iterations"]
+            newton_iters += 1
+            scaled_res = info["scaled_residual_after"]
+            if scaled_res < cfg.newton_tol:
+                break
+        return y.reshape(self.shape), {
+            "newton_iterations": newton_iters,
+            "gmres_iterations": gmres_iters,
+            "function_evaluations": fevals,
+            "residual": scaled_res,
+        }
+
+    def solve_sequential(self) -> Tuple[np.ndarray, Dict[str, float]]:
+        """Run the whole time loop sequentially; returns final state."""
+        cfg = self.config
+        c = self.initial_state()
+        totals: Dict[str, float] = {
+            "newton_iterations": 0, "gmres_iterations": 0, "function_evaluations": 0,
+        }
+        for step in range(cfg.n_steps):
+            t_new = cfg.t0 + (step + 1) * cfg.dt
+            c, info = self.step_sequential(c, t_new)
+            for key in totals:
+                totals[key] += info[key]
+        return c, totals
+
+    def make_local(self, rank: int, size: int) -> "ChemicalLocal":
+        return ChemicalLocal(self, rank, size)
+
+
+def scaled_newton_update(
+    problem: "ChemicalProblem",
+    cfg: "ChemicalConfig",
+    y_flat: np.ndarray,
+    y_prev: np.ndarray,
+    t_new: float,
+    z_lo: int,
+    rows: int,
+    halo_top: Optional[np.ndarray],
+    halo_bottom: Optional[np.ndarray],
+    scale: np.ndarray,
+) -> Tuple[np.ndarray, Dict[str, float]]:
+    """One Newton linearisation + GMRES correction, in scaled variables.
+
+    The implicit-Euler residual ``G(y) = y - y_prev - dt f(y)`` is
+    transformed with ``y = y_prev + S u`` and ``Ghat(u) = G(y)/s``
+    (``S = diag(s)``, ``s = rtol |y_prev| + atol``).  All components of
+    ``u`` and ``Ghat`` are then O(1), which keeps the finite-difference
+    Jacobian-vector products accurate despite the 8-orders-of-magnitude
+    spread between the two species.  The linear solve is additionally
+    right-preconditioned with the analytic diagonal of ``dG/dy``
+    (:meth:`ChemicalProblem.g_diag_strip`), which absorbs the
+    photochemical stiffness of c1.
+
+    Returns the updated (unscaled) state and an info dict with the
+    evaluation counts used for flop accounting.
+    """
+    nx = cfg.nx
+    physical_top = z_lo == 0
+    physical_bottom = z_lo + rows == cfg.nz
+    fevals = [0]
+
+    def g_scaled(u: np.ndarray) -> np.ndarray:
+        fevals[0] += 1
+        y = y_prev + scale * u
+        f = problem.rhs_strip(
+            y.reshape((2, rows, nx)), t_new, z_lo, halo_top, halo_bottom
+        )
+        return (y - y_prev - cfg.dt * f.ravel()) / scale
+
+    u = (y_flat - y_prev) / scale
+    fu = g_scaled(u)
+    scaled_res_before = float(np.sqrt(np.mean(fu * fu)))
+    info: Dict[str, float] = {
+        "gmres_iterations": 0,
+        "function_evaluations": fevals[0],
+        "scaled_residual_before": scaled_res_before,
+        "scaled_residual_after": scaled_res_before,
+    }
+    if scaled_res_before < cfg.newton_tol * 1e-2:
+        # Already at the solution: skip the linear solve entirely (the
+        # AIAC workers keep iterating after local convergence).
+        info["function_evaluations"] = fevals[0]
+        return y_flat.copy(), info
+
+    # Diagonal preconditioner in scaled space: W (dG/dy)_diag S has the
+    # same diagonal as dG/dy because the scalings cancel entrywise.
+    diag = problem.g_diag_strip(
+        (y_prev + scale * u).reshape((2, rows, nx)),
+        t_new, z_lo, physical_top, physical_bottom,
+    )
+    jac = fd_jacobian_operator(g_scaled, u, fu)
+
+    def preconditioned(v: np.ndarray) -> np.ndarray:
+        return jac(v / diag)
+
+    lin = gmres(
+        preconditioned, -fu,
+        tol=cfg.gmres_tol, restart=cfg.gmres_restart,
+        max_iterations=cfg.gmres_max_iterations,
+    )
+    du = lin.x / diag
+    u_new = u + du
+    fu_new = g_scaled(u_new)
+    scaled_res_after = float(np.sqrt(np.mean(fu_new * fu_new)))
+    info.update(
+        gmres_iterations=lin.iterations,
+        function_evaluations=fevals[0],
+        scaled_residual_after=scaled_res_after,
+    )
+    return y_prev + scale * u_new, info
+
+
+class ChemicalLocal(SteppedLocalSolver):
+    """Per-processor strip of the multisplitting-Newton solver.
+
+    The 2-D domain is "vertically decomposed into horizontal strips"
+    and each processor depends only on its two direct neighbours
+    (Section 4.3).  One call to :meth:`iterate` performs one Newton
+    linearisation + GMRES correction on the local implicit-Euler
+    residual with the halo rows frozen at their last received values --
+    this is why "the process actually continues to evolve between data
+    receptions" in the non-linear case (Section 5.1).
+    """
+
+    def __init__(self, problem: ChemicalProblem, rank: int, size: int) -> None:
+        cfg = problem.config
+        if not 0 <= rank < size:
+            raise ValueError(f"rank {rank} out of range for size {size}")
+        if size > cfg.nz:
+            raise ValueError(f"more processors ({size}) than grid rows ({cfg.nz})")
+        self.problem = problem
+        self.rank = rank
+        self.size = size
+        self.partition = BlockPartition(cfg.nz, size)
+        self.z_lo, self.z_hi = self.partition.bounds(rank)
+        self.rows = self.z_hi - self.z_lo
+        self.c = problem.initial_state()[:, self.z_lo : self.z_hi, :].copy()
+        self.halo_top: Optional[np.ndarray] = None      # row z_lo - 1
+        self.halo_bottom: Optional[np.ndarray] = None   # row z_hi
+        self._y_prev = self.c.ravel().copy()
+        self._scale = np.ones_like(self._y_prev)
+        self._t_new = cfg.t0
+        self._atol = problem.atol_vector(self.rows)
+        self.step = -1
+        self.inner_iterations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_steps(self) -> int:
+        return self.problem.config.n_steps
+
+    def providers(self) -> Set[int]:
+        deps = set()
+        if self.rank > 0:
+            deps.add(self.rank - 1)
+        if self.rank < self.size - 1:
+            deps.add(self.rank + 1)
+        return deps
+
+    def receivers(self) -> Set[int]:
+        return self.providers()  # symmetric neighbour dependencies
+
+    def _boundary_payloads(self) -> Dict[int, Tuple[object, float]]:
+        cfg = self.problem.config
+        size_bytes = BYTES_PER_VALUE * 2 * cfg.nx
+        out: Dict[int, Tuple[object, float]] = {}
+        if self.rank > 0:
+            out[self.rank - 1] = ((self.rank, "first_row", self.c[:, 0, :].copy()), size_bytes)
+        if self.rank < self.size - 1:
+            out[self.rank + 1] = ((self.rank, "last_row", self.c[:, -1, :].copy()), size_bytes)
+        return out
+
+    def initial_outgoing(self) -> Dict[int, Tuple[object, float]]:
+        return self._boundary_payloads()
+
+    def integrate(self, src: int, payload) -> None:
+        src_rank, which, row = payload
+        if src_rank == self.rank - 1 and which == "last_row":
+            self.halo_top = row
+        elif src_rank == self.rank + 1 and which == "first_row":
+            self.halo_bottom = row
+        else:
+            raise ValueError(
+                f"rank {self.rank}: unexpected payload ({src_rank}, {which})"
+            )
+
+    # ------------------------------------------------------------------
+    def begin_step(self, step: int) -> None:
+        cfg = self.problem.config
+        self.step = step
+        self._t_new = cfg.t0 + (step + 1) * cfg.dt
+        self._y_prev = self.c.ravel().copy()
+        self._scale = cfg.rtol * np.abs(self._y_prev) + self._atol
+
+    def end_step(self, step: int) -> None:
+        if step != self.step:
+            raise RuntimeError(f"end_step({step}) without begin_step({step})")
+
+    def iterate(self) -> LocalIteration:
+        cfg = self.problem.config
+        y = self.c.ravel()
+        y_new, info = scaled_newton_update(
+            self.problem, cfg, y, self._y_prev, self._t_new,
+            z_lo=self.z_lo, rows=self.rows,
+            halo_top=self.halo_top, halo_bottom=self.halo_bottom,
+            scale=self._scale,
+        )
+        change = float(
+            np.sqrt(np.mean(((y_new - y) / self._scale) ** 2))
+        )
+        self.c = y_new.reshape((2, self.rows, cfg.nx)).copy()
+        self.inner_iterations += 1
+
+        rhs_cost = self.problem.rhs_flops(self.rows)
+        n_local = y.size
+        flops = (
+            info["function_evaluations"] * rhs_cost
+            + info["gmres_iterations"] * 8.0 * n_local
+            + 6.0 * n_local
+        )
+        return LocalIteration(
+            residual=change,
+            flops=flops,
+            outgoing=self._boundary_payloads(),
+            meta={
+                "gmres_iterations": info["gmres_iterations"],
+                "function_evaluations": info["function_evaluations"],
+                "scaled_newton_residual": info["scaled_residual_after"],
+            },
+        )
+
+    def local_solution(self) -> np.ndarray:
+        return self.c.ravel().copy()
+
+    def local_state(self) -> np.ndarray:
+        """The strip in its natural ``(2, rows, nx)`` shape."""
+        return self.c.copy()
+
+
+def make_chemical_problem(nx: int = 20, nz: int = 20, **kwargs) -> ChemicalProblem:
+    """Convenience constructor used by examples and benchmarks."""
+    return ChemicalProblem(ChemicalConfig(nx=nx, nz=nz, **kwargs))
+
+
+__all__ = [
+    "ChemicalConfig",
+    "ChemicalProblem",
+    "ChemicalLocal",
+    "PAPER_CHEMICAL",
+    "make_chemical_problem",
+    "kv",
+    "q3",
+    "q4",
+    "alpha",
+    "beta",
+]

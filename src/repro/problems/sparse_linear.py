@@ -1,0 +1,273 @@
+"""The sparse linear problem of the paper (Section 4.1).
+
+``A x = b`` with a square sparse matrix whose non-zeros sit on the main
+diagonal plus a fixed number of sub/super-diagonals ("repartition of
+non-zero values: 30 sub-diagonals", Table 1), built strictly
+diagonally dominant so the Jacobi-type fixed point has spectral radius
+below one ("the sparse matrix is designed to have a spectral radius
+less than one", Section 5.1) -- the convergence condition of
+asynchronous iterations.
+
+The diagonals are *spread* across the bandwidth of the matrix, so a
+row-block decomposition produces the all-to-all dependency pattern the
+paper describes ("the communication scheme is all to all according to
+data dependencies", Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.linalg.gradient import FixedStepGradient, GradientResult, gradient_descent
+from repro.linalg.norms import max_norm_diff
+from repro.linalg.partition import BlockPartition
+from repro.linalg.sparse import MultiDiagonalMatrix
+from repro.linalg.splitting import block_ranges_dependencies
+from repro.problems.base import LocalIteration, LocalSolver
+
+BYTES_PER_VALUE = 8.0
+
+
+@dataclass(frozen=True)
+class SparseLinearConfig:
+    """Parameters of the sparse linear problem.
+
+    ``n_diagonals`` counts off-diagonals (the paper's "30
+    sub-diagonals"); they are placed symmetrically around the main
+    diagonal and spread over the whole matrix so that every row block
+    depends on (almost) every other block.
+    """
+
+    n: int = 2_000
+    n_diagonals: int = 30
+    dominance: float = 0.80      # bound on the Jacobi spectral radius
+    gamma: float = 1.0           # the paper's fixed step (Jacobi for 1.0)
+    eps: float = 1e-6            # convergence threshold (Eq. 5)
+    max_iterations: int = 20_000
+    seed: int = 12004            # deterministic instance generation
+    stability_count: int = 3     # consecutive under-threshold iterations
+                                 # required before local convergence is
+                                 # believed (Section 4.3, oscillation guard)
+    # Sign structure of the off-diagonals.  "negative" (Laplacian-like)
+    # makes the Jacobi iteration matrix non-negative, so its spectral
+    # radius actually *equals* the dominance bound (Perron-Frobenius)
+    # and the iteration count matches the paper's long runs; "random"
+    # signs cause cancellation and converge an order of magnitude
+    # faster -- useful for quick tests.
+    sign_structure: str = "negative"
+
+    def scaled(self, **kwargs) -> "SparseLinearConfig":
+        return replace(self, **kwargs)
+
+
+#: Parameters used in the paper's experiments (Table 1).  Far too large
+#: to run here -- kept as documentation and for parameter tests.
+PAPER_SPARSE_LINEAR = SparseLinearConfig(n=2_000_000, n_diagonals=30)
+
+
+def spread_offsets(n: int, n_diagonals: int) -> Tuple[int, ...]:
+    """Symmetric diagonal offsets spread across the matrix width.
+
+    Half the diagonals sit below the main diagonal and half above, at
+    (approximately) evenly spaced offsets, producing the all-to-all
+    block dependency pattern of the paper.
+    """
+    if n_diagonals < 2:
+        raise ValueError("need at least 2 off-diagonals")
+    half = n_diagonals // 2
+    max_offset = n - 1
+    offsets = []
+    for j in range(1, half + 1):
+        off = max(1, round(j * max_offset / (half + 1)))
+        offsets.append(off)
+    offsets = sorted(set(offsets))
+    # De-duplicate (tiny n) by perturbing until we have ``half`` distinct.
+    candidate = 1
+    while len(offsets) < half and candidate < n:
+        if candidate not in offsets:
+            offsets.append(candidate)
+        candidate += 1
+    offsets = sorted(offsets[:half])
+    return tuple([-o for o in reversed(offsets)] + offsets)
+
+
+class SparseLinearProblem:
+    """An instance of the problem: matrix, right-hand side, true solution."""
+
+    def __init__(self, config: SparseLinearConfig) -> None:
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        offsets = spread_offsets(config.n, config.n_diagonals)
+        matrix = MultiDiagonalMatrix(config.n, (0,) + offsets)
+        if config.sign_structure not in ("negative", "random"):
+            raise ValueError(
+                f"unknown sign_structure {config.sign_structure!r}; "
+                "expected 'negative' or 'random'"
+            )
+        for off in offsets:
+            lo = max(0, -off)
+            hi = min(config.n, config.n - off)
+            vals = rng.uniform(0.2, 1.0, hi - lo)
+            if config.sign_structure == "negative":
+                vals = -vals
+            else:
+                vals *= rng.choice([-1.0, 1.0], hi - lo)
+            row = np.zeros(config.n)
+            row[lo:hi] = vals
+            matrix.set_diagonal(off, row[lo:hi])
+        # Strict diagonal dominance => Jacobi spectral radius <= dominance.
+        row_sums = matrix.offdiagonal_row_sums()
+        floor = np.median(row_sums[row_sums > 0]) if np.any(row_sums > 0) else 1.0
+        diag = np.maximum(row_sums, floor) / config.dominance
+        matrix.set_diagonal(0, diag)
+
+        self.matrix = matrix
+        self.x_true = rng.standard_normal(config.n)
+        self.b = matrix.matvec(self.x_true)
+        self.kernel = FixedStepGradient(matrix, self.b, config.gamma)
+
+    @property
+    def n(self) -> int:
+        return self.config.n
+
+    def spectral_bound(self) -> float:
+        return self.matrix.jacobi_spectral_bound()
+
+    def solve_sequential(self, **overrides) -> GradientResult:
+        """Reference sequential solution (same iterations as SISC)."""
+        kwargs = dict(
+            gamma=self.config.gamma,
+            eps=self.config.eps,
+            max_iterations=self.config.max_iterations,
+        )
+        kwargs.update(overrides)
+        return gradient_descent(self.matrix, self.b, **kwargs)
+
+    def solution_error(self, x: np.ndarray) -> float:
+        """Max-norm error against the known true solution."""
+        return max_norm_diff(np.asarray(x), self.x_true)
+
+    def make_local(self, rank: int, size: int) -> "SparseLinearLocal":
+        """Local solver for processor ``rank`` of ``size``."""
+        return SparseLinearLocal(self, rank, size)
+
+
+class SparseLinearLocal(LocalSolver):
+    """Per-processor state of the parallel gradient descent.
+
+    Keeps a full-length working copy of ``x`` whose foreign entries are
+    refreshed from received messages; iterates only its own row block
+    (the paper's vertical decomposition, Section 4.3).
+    """
+
+    def __init__(
+        self,
+        problem: SparseLinearProblem,
+        rank: int,
+        size: int,
+        partition=None,
+    ) -> None:
+        if not 0 <= rank < size:
+            raise ValueError(f"rank {rank} out of range for size {size}")
+        self.problem = problem
+        self.rank = rank
+        self.size = size
+        self.partition = partition if partition is not None else BlockPartition(problem.n, size)
+        if self.partition.m != size or self.partition.n != problem.n:
+            raise ValueError("partition does not match problem/size")
+        self.lo, self.hi = self.partition.bounds(rank)
+        providers, receivers = block_ranges_dependencies(problem.matrix, self.partition)
+        self._providers = providers[rank]
+        self._receivers = receivers[rank]
+        self.x = np.zeros(problem.n)
+        self._flops_per_iter = problem.kernel.update_flops(self.lo, self.hi)
+        self.iterations_done = 0
+
+    # ------------------------------------------------------------------
+    def providers(self) -> Set[int]:
+        return set(self._providers)
+
+    def receivers(self) -> Set[int]:
+        return set(self._receivers)
+
+    def initial_outgoing(self) -> Dict[int, Tuple[np.ndarray, float]]:
+        block = self.x[self.lo : self.hi].copy()
+        size_bytes = BYTES_PER_VALUE * len(block)
+        return {dst: ((self.rank, block), size_bytes) for dst in self._receivers}
+
+    def integrate(self, src: int, payload) -> None:
+        block_id, values = payload
+        lo, hi = self.partition.bounds(block_id)
+        if len(values) != hi - lo:
+            raise ValueError(
+                f"payload from rank {src} has {len(values)} entries, "
+                f"block {block_id} needs {hi - lo}"
+            )
+        self.x[lo:hi] = values
+
+    def iterate(self) -> LocalIteration:
+        new_block = self.problem.kernel.update_block(self.lo, self.hi, self.x)
+        residual = max_norm_diff(new_block, self.x[self.lo : self.hi])
+        self.x[self.lo : self.hi] = new_block
+        self.iterations_done += 1
+        payload = (self.rank, new_block.copy())
+        size_bytes = BYTES_PER_VALUE * len(new_block)
+        outgoing = {dst: (payload, size_bytes) for dst in self._receivers}
+        return LocalIteration(residual=residual, flops=self._flops_per_iter, outgoing=outgoing)
+
+    def local_solution(self) -> np.ndarray:
+        return self.x[self.lo : self.hi].copy()
+
+
+def balanced_local_factory(problem: SparseLinearProblem, speeds):
+    """Local-solver factory with speed-proportional block sizes.
+
+    The static load-balancing extension: ``speeds[r]`` is processor
+    ``r``'s relative speed; each processor receives a row block
+    proportional to it, so per-iteration compute times equalise across
+    a heterogeneous cluster (the paper's Duron/P4 mix).
+
+    Usage::
+
+        factory = balanced_local_factory(problem, [h.speed for h in hosts])
+        simulate(factory, n_ranks, network, policy, ...)
+    """
+    from repro.linalg.partition import WeightedPartition
+
+    speeds = list(speeds)
+
+    def make_local(rank: int, size: int) -> "SparseLinearLocal":
+        if size != len(speeds):
+            raise ValueError(
+                f"factory built for {len(speeds)} ranks, asked for {size}"
+            )
+        partition = WeightedPartition(problem.n, speeds)
+        return SparseLinearLocal(problem, rank, size, partition=partition)
+
+    return make_local
+
+
+def make_sparse_linear_problem(
+    n: int = 2_000,
+    n_diagonals: int = 30,
+    seed: int = 12004,
+    **kwargs,
+) -> SparseLinearProblem:
+    """Convenience constructor used by examples and benchmarks."""
+    return SparseLinearProblem(
+        SparseLinearConfig(n=n, n_diagonals=n_diagonals, seed=seed, **kwargs)
+    )
+
+
+__all__ = [
+    "SparseLinearConfig",
+    "SparseLinearProblem",
+    "SparseLinearLocal",
+    "PAPER_SPARSE_LINEAR",
+    "spread_offsets",
+    "make_sparse_linear_problem",
+    "balanced_local_factory",
+]

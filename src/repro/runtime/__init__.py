@@ -1,0 +1,17 @@
+"""Real-thread execution backend.
+
+Runs the *same* algorithm coroutines as the simulator, but on actual
+Python threads with thread-safe channels and the wall clock: this is a
+true working implementation of AIAC (asynchronous receipts, skip-send
+rule, centralized convergence detection), validating that the library's
+protocol is executable and correct outside the simulation.
+
+On one machine the threads time-share a core, so wall-clock numbers are
+not a performance comparison -- the simulator exists for that; this
+backend is about *semantics*.
+"""
+
+from repro.runtime.channels import ChannelHub
+from repro.runtime.executor import ThreadRunResult, run_threaded
+
+__all__ = ["ChannelHub", "ThreadRunResult", "run_threaded"]

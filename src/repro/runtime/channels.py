@@ -1,0 +1,97 @@
+"""Thread-safe message channels for the real-thread backend.
+
+One :class:`ChannelHub` serves a whole run: per-rank, per-tag queues of
+:class:`~repro.simgrid.message.Message`, with blocking receive
+(condition variables) and non-blocking drain -- the thread-backed
+equivalents of the simulator's mailbox semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.simgrid.message import Message
+
+
+class ChannelHub:
+    """Per-rank mailboxes shared by all worker threads of a run."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+        self._lock = threading.Lock()
+        self._conditions = [threading.Condition(self._lock) for _ in range(size)]
+        self._boxes: List[Dict[str, List[Message]]] = [
+            defaultdict(list) for _ in range(size)
+        ]
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------
+    def post(self, message: Message) -> None:
+        """Deliver a message to its destination mailbox (thread-safe)."""
+        if not 0 <= message.dst < self.size:
+            raise KeyError(f"unknown destination rank {message.dst}")
+        with self._lock:
+            message.delivered_at = time.monotonic()
+            self._boxes[message.dst][message.tag].append(message)
+            self.messages_sent += 1
+            self._conditions[message.dst].notify_all()
+
+    def drain(self, rank: int, tag: Optional[str] = None) -> List[Message]:
+        """Non-blocking removal of all visible messages for ``rank``."""
+        with self._lock:
+            return self._drain_locked(rank, tag)
+
+    def _drain_locked(self, rank: int, tag: Optional[str]) -> List[Message]:
+        box = self._boxes[rank]
+        if tag is None:
+            out: List[Message] = []
+            for messages in box.values():
+                out.extend(messages)
+                messages.clear()
+            out.sort(key=lambda m: (m.delivered_at, m.uid))
+            return out
+        out = list(box.get(tag, ()))
+        if out:
+            box[tag].clear()
+        return out
+
+    def receive(
+        self,
+        rank: int,
+        tag: Optional[str] = None,
+        count: int = 1,
+        timeout: Optional[float] = None,
+    ) -> List[Message]:
+        """Block until ``count`` messages with ``tag`` are visible.
+
+        Returns all visible matching messages (empty list on timeout).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            condition = self._conditions[rank]
+            while self._count_locked(rank, tag) < max(1, count):
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return []
+                condition.wait(remaining)
+            return self._drain_locked(rank, tag)
+
+    def _count_locked(self, rank: int, tag: Optional[str]) -> int:
+        box = self._boxes[rank]
+        if tag is None:
+            return sum(len(v) for v in box.values())
+        return len(box.get(tag, ()))
+
+    def pending(self, rank: int, tag: Optional[str] = None) -> int:
+        with self._lock:
+            return self._count_locked(rank, tag)
+
+
+__all__ = ["ChannelHub"]

@@ -1,0 +1,154 @@
+"""Thread-per-rank interpreter for the algorithm coroutines.
+
+The same effect vocabulary as the simulator, interpreted against real
+threads:
+
+* ``Compute``/``Sleep`` -- the numerical work already ran inside the
+  coroutine; ``Compute`` is a no-op (wall time is real), ``Sleep``
+  sleeps a bounded amount;
+* ``Send`` -- posts to the :class:`~repro.runtime.channels.ChannelHub`
+  immediately (an in-process channel never blocks), so the
+  :class:`~repro.simgrid.effects.SendHandle` completes at once;
+* ``Drain``/``Recv`` -- non-blocking / blocking channel reads;
+* ``Barrier`` -- a real ``threading.Barrier``.
+
+This is the paper's "multi-threaded environment" in miniature: receipts
+can happen at any time, computations never wait for communications.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.simgrid import effects as fx
+from repro.simgrid.message import Message
+
+#: Cap on simulated Sleep effects so a buggy coroutine cannot hang a test run.
+_MAX_SLEEP = 0.1
+
+
+class ThreadWorkerError(RuntimeError):
+    """A worker thread raised; re-raised on join with rank context."""
+
+
+@dataclass
+class ThreadRunResult:
+    """Outcome of a threaded run."""
+
+    results: Dict[int, Any]
+    elapsed: float
+    messages_sent: int
+
+    @property
+    def reports(self) -> Dict[int, Any]:
+        """Alias matching :class:`repro.core.run.RunResult` usage."""
+        return self.results
+
+
+def _interpret(
+    rank: int,
+    coroutine: Generator,
+    hub,
+    barrier: threading.Barrier,
+    results: Dict[int, Any],
+    errors: Dict[int, BaseException],
+) -> None:
+    value: Any = None
+    start = time.monotonic()
+    try:
+        while True:
+            try:
+                effect = coroutine.send(value)
+            except StopIteration as stop:
+                results[rank] = stop.value
+                return
+            if isinstance(effect, fx.Now):
+                value = time.monotonic() - start
+            elif isinstance(effect, fx.Compute):
+                value = None  # the flops already ran, in real time
+            elif isinstance(effect, fx.Sleep):
+                time.sleep(min(effect.seconds, _MAX_SLEEP))
+                value = None
+            elif isinstance(effect, fx.Trace):
+                value = None
+            elif isinstance(effect, fx.Send):
+                handle = fx.SendHandle()
+                message = Message(
+                    src=rank, dst=effect.dest, tag=effect.tag,
+                    payload=effect.payload, size=effect.size,
+                    sent_at=time.monotonic(),
+                )
+                hub.post(message)
+                now = time.monotonic()
+                handle.release_sender(now)
+                handle.complete(now)
+                value = handle
+            elif isinstance(effect, fx.Drain):
+                value = hub.drain(rank, effect.tag)
+            elif isinstance(effect, fx.Recv):
+                value = hub.receive(
+                    rank, effect.tag, count=effect.count, timeout=effect.timeout
+                )
+            elif isinstance(effect, fx.Barrier):
+                barrier.wait()
+                value = None
+            else:
+                raise ThreadWorkerError(f"rank {rank}: unknown effect {effect!r}")
+    except BaseException as exc:  # noqa: BLE001 - propagate to the join
+        errors[rank] = exc
+
+
+def run_threaded(
+    make_coroutine: Callable[[int, int], Generator],
+    n_ranks: int,
+    timeout: float = 120.0,
+) -> ThreadRunResult:
+    """Execute ``n_ranks`` worker coroutines on real threads.
+
+    Parameters
+    ----------
+    make_coroutine:
+        ``(rank, size) -> generator`` -- typically a lambda wrapping
+        :func:`repro.core.aiac.aiac_worker` with a problem's local
+        solver.
+    timeout:
+        Join timeout per thread; a hang raises instead of deadlocking
+        the test suite.
+    """
+    from repro.runtime.channels import ChannelHub
+
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    hub = ChannelHub(n_ranks)
+    barrier = threading.Barrier(n_ranks)
+    results: Dict[int, Any] = {}
+    errors: Dict[int, BaseException] = {}
+    threads = [
+        threading.Thread(
+            target=_interpret,
+            args=(rank, make_coroutine(rank, n_ranks), hub, barrier, results, errors),
+            name=f"aiac-rank-{rank}",
+            daemon=True,
+        )
+        for rank in range(n_ranks)
+    ]
+    start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout)
+        if thread.is_alive():
+            raise ThreadWorkerError(f"{thread.name} did not finish within {timeout}s")
+    elapsed = time.monotonic() - start
+    if errors:
+        rank, exc = sorted(errors.items())[0]
+        raise ThreadWorkerError(f"rank {rank} failed: {exc!r}") from exc
+    return ThreadRunResult(
+        results=results, elapsed=elapsed, messages_sent=hub.messages_sent
+    )
+
+
+__all__ = ["run_threaded", "ThreadRunResult", "ThreadWorkerError"]

@@ -1,0 +1,73 @@
+"""Discrete-event simulation substrate for grid-computing experiments.
+
+This package is the synthetic stand-in for the physical testbeds of the
+paper (heterogeneous machines on 10/100 Mb Ethernet and ADSL links).  It
+provides:
+
+* :mod:`repro.simgrid.engine` -- a deterministic event-queue engine with
+  virtual time,
+* :mod:`repro.simgrid.host` / :mod:`repro.simgrid.link` /
+  :mod:`repro.simgrid.network` -- resource models (CPU speed, latency,
+  bandwidth, FIFO link contention, multi-hop routes),
+* :mod:`repro.simgrid.effects` -- the effect vocabulary that algorithm
+  coroutines yield (``Compute``, ``Send``, ``Drain``, ``Recv``,
+  ``Barrier``, ...),
+* :mod:`repro.simgrid.process` -- the coroutine interpreter binding
+  processes to hosts,
+* :mod:`repro.simgrid.comm` -- the message transport pipeline
+  (sending-thread pools, link transfers, receive-path handling modelled
+  after the environments of the paper),
+* :mod:`repro.simgrid.trace` -- Gantt-style span recording used to
+  regenerate Figures 1 and 2 of the paper,
+* :mod:`repro.simgrid.world` -- the top-level :class:`World` object tying
+  everything together.
+
+Numerical work performed by the algorithms is *real*; only time and
+message transport are simulated.
+"""
+
+from repro.simgrid.engine import Engine, Event
+from repro.simgrid.host import Host
+from repro.simgrid.link import Link
+from repro.simgrid.network import Network, Route
+from repro.simgrid.effects import (
+    Barrier,
+    Compute,
+    Drain,
+    Effect,
+    Now,
+    Recv,
+    Send,
+    SendHandle,
+    Sleep,
+    Trace,
+)
+from repro.simgrid.message import Message
+from repro.simgrid.process import Process, ProcessState
+from repro.simgrid.trace import GanttTrace, Span
+from repro.simgrid.world import World
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Host",
+    "Link",
+    "Network",
+    "Route",
+    "Effect",
+    "Compute",
+    "Sleep",
+    "Send",
+    "SendHandle",
+    "Drain",
+    "Recv",
+    "Barrier",
+    "Now",
+    "Trace",
+    "Message",
+    "Process",
+    "ProcessState",
+    "GanttTrace",
+    "Span",
+    "World",
+]

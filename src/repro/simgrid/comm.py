@@ -1,0 +1,345 @@
+"""Message transport pipeline: sending threads, links, receive path.
+
+The paper attributes essentially all performance differences between
+PM2, MPICH/Madeleine and OmniORB to *the way the threads are managed*
+around communications (Sections 5.1 and 6, Table 4).  This module
+implements exactly that machinery:
+
+* a :class:`CommPolicy` describes, for one programming environment and
+  one problem, how many sending threads exist, whether reception uses a
+  dedicated thread pool or threads created on demand, the per-message
+  software overheads (packing for PM2, MPI envelope for MPI/Mad, ORB
+  marshalling/dispatch for OmniORB), thread spawn cost, scheduler
+  fairness, and whether the communications block the main thread
+  (classical mono-threaded MPI);
+* :class:`ThreadPoolModel` simulates a fixed pool of threads serving a
+  job queue in FIFO (fair scheduler, e.g. Marcel) or LIFO (unfair)
+  order; :class:`OnDemandPool` simulates thread-per-message creation;
+* :class:`Transport` drives a message through: sending-thread occupancy
+  (software overhead + occupancy of the first link, as with blocking
+  sockets), FIFO store-and-forward traversal of the route, then the
+  receive path, after which the message becomes *visible* in the
+  destination :class:`Mailbox`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.simgrid.effects import SendHandle
+from repro.simgrid.engine import Engine
+from repro.simgrid.message import Message
+from repro.simgrid.network import Network
+
+
+@dataclass(frozen=True)
+class CommPolicy:
+    """Communication behaviour of one environment for one problem.
+
+    ``n_send_threads`` / ``n_recv_threads`` use ``None`` to mean
+    "created on demand" (one thread per message / per peer), matching
+    the wording of Table 4 in the paper.
+    """
+
+    name: str
+    n_send_threads: Optional[int] = 1
+    n_recv_threads: Optional[int] = None
+    send_base: float = 1e-4       # seconds of sender-side software overhead
+    send_per_byte: float = 0.0    # additional packing cost per byte
+    recv_base: float = 1e-4       # seconds of receive-path handling
+    recv_per_byte: float = 0.0
+    thread_spawn_cost: float = 5e-5
+    fair: bool = True
+    blocking_send: bool = False   # mono-threaded MPI semantics
+    blocking_recv: bool = False
+    barrier_beta: float = 2.0     # barrier cost = beta * ceil(log2 n) * max latency
+    # Blocking sends of messages at least this large complete only at
+    # *delivery* (MPI rendezvous protocol); smaller ones are eager
+    # (buffered) and resume when the sender-side transfer finishes.
+    # The paper's sparse-linear data blocks (~1.3 MB) are far above any
+    # 2004 MPI rendezvous threshold.
+    rendezvous_threshold: float = float("inf")
+
+    def send_sw_time(self, size: float) -> float:
+        return self.send_base + self.send_per_byte * size
+
+    def recv_sw_time(self, size: float) -> float:
+        return self.recv_base + self.recv_per_byte * size
+
+    def with_overrides(self, **kwargs) -> "CommPolicy":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# thread pools
+# ----------------------------------------------------------------------
+class ThreadPoolModel:
+    """A fixed-size pool of service threads.
+
+    Jobs are ``(duration, on_start, on_done)``.  With a fair scheduler
+    jobs are served FIFO; with an unfair one LIFO, which starves old
+    jobs exactly as the paper warns in Section 6 ("it is possible to
+    have always the same threads working and the same other ones which
+    are never activated").
+    """
+
+    def __init__(self, engine: Engine, size: int, fair: bool = True) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.engine = engine
+        self.size = size
+        self.fair = fair
+        self._busy = 0
+        self._queue: Deque[Tuple[float, Callable[[float], None], Callable[[float], None]]] = deque()
+        self.jobs_served = 0
+        self.max_queue_len = 0
+
+    def submit(
+        self,
+        duration: float,
+        on_done: Callable[[float], None],
+        on_start: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self._queue.append((duration, on_start or (lambda t: None), on_done))
+        self.max_queue_len = max(self.max_queue_len, len(self._queue))
+        self._try_dispatch()
+
+    def _try_dispatch(self) -> None:
+        while self._busy < self.size and self._queue:
+            if self.fair:
+                duration, on_start, on_done = self._queue.popleft()
+            else:
+                duration, on_start, on_done = self._queue.pop()
+            self._busy += 1
+            self.jobs_served += 1
+            on_start(self.engine.now)
+            self.engine.after(duration, self._make_finish(on_done), label="pool-job")
+
+    def _make_finish(self, on_done: Callable[[float], None]) -> Callable[[], None]:
+        def finish() -> None:
+            self._busy -= 1
+            on_done(self.engine.now)
+            self._try_dispatch()
+
+        return finish
+
+    # A sending thread sometimes needs to extend its occupancy once the
+    # link start time is known (blocking-socket behaviour): the job is
+    # submitted with the software-overhead duration and the link wait is
+    # chained from ``on_done`` via :meth:`hold`.
+    def hold(self, until_delay: float, on_release: Callable[[float], None]) -> None:
+        """Keep the calling thread busy for ``until_delay`` more seconds."""
+        self._busy += 1
+        self.engine.after(until_delay, self._make_finish(on_release), label="pool-hold")
+
+
+class OnDemandPool:
+    """Thread-per-message model: unlimited concurrency, spawn cost."""
+
+    def __init__(self, engine: Engine, spawn_cost: float) -> None:
+        self.engine = engine
+        self.spawn_cost = spawn_cost
+        self.jobs_served = 0
+        self.peak_concurrency = 0
+        self._live = 0
+
+    def submit(
+        self,
+        duration: float,
+        on_done: Callable[[float], None],
+        on_start: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self._live += 1
+        self.peak_concurrency = max(self.peak_concurrency, self._live)
+        self.jobs_served += 1
+        start_cb = on_start or (lambda t: None)
+
+        def run() -> None:
+            start_cb(self.engine.now)
+            self.engine.after(duration, finish, label="ondemand-job")
+
+        def finish() -> None:
+            self._live -= 1
+            on_done(self.engine.now)
+
+        self.engine.after(self.spawn_cost, run, label="ondemand-spawn")
+
+
+# ----------------------------------------------------------------------
+# mailbox
+# ----------------------------------------------------------------------
+class Mailbox:
+    """Per-rank store of *visible* messages, grouped by tag."""
+
+    def __init__(self) -> None:
+        self._by_tag: Dict[str, List[Message]] = {}
+        self._waiter: Optional[Callable[[], None]] = None
+        self.total_received = 0
+
+    def deposit(self, message: Message) -> None:
+        self._by_tag.setdefault(message.tag, []).append(message)
+        self.total_received += 1
+        if self._waiter is not None:
+            waiter, self._waiter = self._waiter, None
+            waiter()
+
+    def drain(self, tag: Optional[str] = None) -> List[Message]:
+        """Remove and return visible messages (oldest first)."""
+        if tag is None:
+            out: List[Message] = []
+            for msgs in self._by_tag.values():
+                out.extend(msgs)
+                msgs.clear()
+            out.sort(key=lambda m: (m.delivered_at, m.uid))
+            return out
+        msgs = self._by_tag.get(tag, [])
+        out = list(msgs)
+        msgs.clear()
+        return out
+
+    def peek_count(self, tag: Optional[str] = None) -> int:
+        if tag is None:
+            return sum(len(v) for v in self._by_tag.values())
+        return len(self._by_tag.get(tag, ()))
+
+    def set_waiter(self, callback: Callable[[], None]) -> None:
+        if self._waiter is not None:
+            raise RuntimeError("mailbox already has a waiter")
+        self._waiter = callback
+
+    def clear_waiter(self) -> None:
+        self._waiter = None
+
+
+# ----------------------------------------------------------------------
+# transport
+# ----------------------------------------------------------------------
+class Transport:
+    """Drives messages from sender to receiver through the models above."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        network: Network,
+        policy: CommPolicy,
+        rank_to_host: Dict[int, str],
+    ) -> None:
+        self.engine = engine
+        self.network = network
+        self.policy = policy
+        self.rank_to_host = dict(rank_to_host)
+        n = len(self.rank_to_host)
+        self._send_pools: Dict[int, ThreadPoolModel | OnDemandPool] = {}
+        self._recv_pools: Dict[int, ThreadPoolModel | OnDemandPool] = {}
+        for rank in self.rank_to_host:
+            self._send_pools[rank] = self._make_pool(policy.n_send_threads, n)
+            self._recv_pools[rank] = self._make_pool(policy.n_recv_threads, n)
+        self.mailboxes: Dict[int, Mailbox] = {r: Mailbox() for r in self.rank_to_host}
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+
+    def _make_pool(self, n_threads: Optional[int], n_ranks: int):
+        if n_threads is None:
+            return OnDemandPool(self.engine, self.policy.thread_spawn_cost)
+        # "N sending threads" in Table 4 means one per peer.
+        size = n_threads if n_threads > 0 else max(1, n_ranks - 1)
+        return ThreadPoolModel(self.engine, size, fair=self.policy.fair)
+
+    # ------------------------------------------------------------------
+    def send(self, message: Message, handle: SendHandle) -> None:
+        """Submit a message to the sender-side machinery.
+
+        The sending thread is occupied for the software overhead plus
+        the serialisation of the message onto the first link of the
+        route (blocking-socket behaviour).  Once the last byte reaches
+        the destination host, the receive path starts; when *that*
+        completes the message becomes visible in the mailbox.
+        """
+        if message.dst not in self.rank_to_host:
+            raise KeyError(f"unknown destination rank {message.dst}")
+        self.messages_sent += 1
+        self.bytes_sent += message.size
+        message.sent_at = self.engine.now
+        route = self.network.route(
+            self.rank_to_host[message.src], self.rank_to_host[message.dst]
+        )
+        pool = self._send_pools[message.src]
+        sw_time = self.policy.send_sw_time(message.size)
+
+        def after_software(now: float) -> None:
+            # Traverse the route cut-through: each hop's serialisation
+            # chains FIFO onto the next, and the total propagation
+            # latency is added once at the end.  TCP backpressure keeps
+            # the sending thread busy until the message has cleared the
+            # bottleneck (the whole serialisation chain): with a single
+            # sending thread this serialises a processor's outgoing
+            # messages head-of-line -- the very effect Table 4's thread
+            # counts are about.
+            t = now
+            for link in route.links:
+                start, end = link.reserve(t, message.size)
+                t = end
+            arrival = t + route.latency
+            hold = max(0.0, t - now)
+            if hold > 0:
+                pool_hold(hold)
+            else:
+                handle.release_sender(now)
+            # Delivery (and hence the skip-send gate) happens when the
+            # last byte reaches the destination host.
+            self.engine.at(arrival, lambda: self._deliver(message, handle), label="arrive")
+
+        def pool_hold(hold: float) -> None:
+            if isinstance(pool, ThreadPoolModel):
+                pool.hold(hold, lambda t: handle.release_sender(t))
+            else:
+                self.engine.after(hold, lambda: handle.release_sender(self.engine.now))
+
+        pool.submit(sw_time, after_software)
+
+    def _deliver(self, message: Message, handle: SendHandle) -> None:
+        handle.complete(self.engine.now)
+        self._arrive(message)
+
+    def _arrive(self, message: Message) -> None:
+        """Message reached the destination NIC: run the receive path."""
+        pool = self._recv_pools[message.dst]
+        sw_time = self.policy.recv_sw_time(message.size)
+
+        def visible(now: float) -> None:
+            message.delivered_at = now
+            self.mailboxes[message.dst].deposit(message)
+
+        pool.submit(sw_time, visible)
+
+    # ------------------------------------------------------------------
+    def barrier_cost(self, n_ranks: int) -> float:
+        """Cost of one global barrier for this policy and topology."""
+        if n_ranks <= 1:
+            return 0.0
+        max_latency = max(
+            (link.latency for link in self.network.links), default=0.0
+        )
+        stages = max(1, (n_ranks - 1).bit_length())
+        return self.policy.barrier_beta * stages * max_latency
+
+    def stats(self) -> dict:
+        return {
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "mailbox_received": {
+                r: mb.total_received for r, mb in self.mailboxes.items()
+            },
+        }
+
+
+__all__ = [
+    "CommPolicy",
+    "ThreadPoolModel",
+    "OnDemandPool",
+    "Mailbox",
+    "Transport",
+]

@@ -1,0 +1,192 @@
+"""Effect vocabulary yielded by algorithm coroutines.
+
+The AIAC and SISC algorithm implementations in :mod:`repro.core` are
+written once as generator coroutines that ``yield`` the effect objects
+defined here.  Two interpreters execute them:
+
+* the discrete-event simulator (:mod:`repro.simgrid.process`) charges
+  virtual time for ``Compute`` and routes ``Send`` through the
+  environment's communication model;
+* the real-thread runtime (:mod:`repro.runtime`) executes them against
+  thread-safe channels and the wall clock.
+
+This is how the paper's comparison discipline (Section 5: same
+computation scheme, same communication scheme, same convergence
+detection, same halting procedure in every environment) is enforced
+structurally: the algorithm code cannot differ between environments
+because there is only one copy of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class Effect:
+    """Base class for all yieldable effects."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Compute(Effect):
+    """Charge ``flops`` of computation to the calling process's host.
+
+    The numerical work itself has already been performed in user code
+    (for real); this effect only advances virtual time.  The optional
+    ``label`` shows up in Gantt traces.
+    """
+
+    flops: float
+    label: str = "compute"
+
+
+@dataclass
+class Sleep(Effect):
+    """Advance time by ``seconds`` without doing work (idle span)."""
+
+    seconds: float
+    label: str = "sleep"
+
+
+@dataclass
+class SendHandle:
+    """Completion handle returned by ``Send``.
+
+    Two milestones are tracked:
+
+    * ``sender_done`` -- the message has fully left the sender (the
+      sending thread / socket buffer is released).  A *blocking* send
+      (mono-threaded MPI) resumes here.
+    * ``done`` -- the message reached the destination host.  The AIAC
+      communication manager gates on this for the paper's *skip-send*
+      rule ("data are actually sent only if any previous sending of the
+      same data to the same destination is terminated", Section 4.3):
+      gating on end-to-end completion is what keeps a fast sender from
+      overloading a slow link or receiver.
+    """
+
+    done: bool = False
+    completed_at: float = float("nan")
+    sender_done: bool = False
+    sender_done_at: float = float("nan")
+    _callbacks: list = field(default_factory=list)
+    _sender_callbacks: list = field(default_factory=list)
+
+    def complete(self, when: float) -> None:
+        """Mark delivery to the destination host."""
+        if not self.sender_done:
+            # Delivery implies the sender finished first.
+            self.release_sender(when)
+        self.done = True
+        self.completed_at = when
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(when)
+
+    def release_sender(self, when: float) -> None:
+        """Mark the sender-side transfer as finished."""
+        self.sender_done = True
+        self.sender_done_at = when
+        callbacks, self._sender_callbacks = self._sender_callbacks, []
+        for cb in callbacks:
+            cb(when)
+
+    def on_complete(self, callback) -> None:
+        """Invoke ``callback(when)`` at delivery (or now if delivered)."""
+        if self.done:
+            callback(self.completed_at)
+        else:
+            self._callbacks.append(callback)
+
+    def on_sender_release(self, callback) -> None:
+        """Invoke ``callback(when)`` at sender-side completion."""
+        if self.sender_done:
+            callback(self.sender_done_at)
+        else:
+            self._sender_callbacks.append(callback)
+
+
+@dataclass
+class Send(Effect):
+    """Asynchronously send ``payload`` to rank ``dest``.
+
+    The effect resumes immediately (asynchronous semantics); the
+    returned :class:`SendHandle` tracks completion of the sender-side
+    transfer.  ``size`` is the wire size in bytes used by the transport
+    model.
+    """
+
+    dest: int
+    tag: str
+    payload: Any
+    size: float = 0.0
+
+
+@dataclass
+class Drain(Effect):
+    """Collect every message currently *visible* to this rank.
+
+    Non-blocking.  Resumes with a list of :class:`~repro.simgrid.message.Message`
+    whose tag matches ``tag`` (or all tags when ``tag`` is ``None``).
+    This models the paper's reception threads: received data "are taken
+    into account in the computations" as soon as they have been handled
+    by a reception thread.
+    """
+
+    tag: Optional[str] = None
+
+
+@dataclass
+class Recv(Effect):
+    """Block until at least one message with ``tag`` is visible.
+
+    Resumes with the list of all visible matching messages (at least
+    one).  ``timeout`` bounds the wait in seconds; on timeout the
+    effect resumes with an empty list.  Used by the synchronous (SISC)
+    algorithms, where receipts are explicitly localised in the program
+    sequence -- exactly the MPI constraint the paper criticises.
+    """
+
+    tag: Optional[str] = None
+    count: int = 1
+    timeout: Optional[float] = None
+
+
+@dataclass
+class Barrier(Effect):
+    """Synchronise with all other ranks of the run.
+
+    The simulator charges the environment's barrier cost; the thread
+    backend uses a real ``threading.Barrier``.
+    """
+
+    label: str = "barrier"
+
+
+@dataclass
+class Now(Effect):
+    """Resume immediately with the current (virtual or wall) time."""
+
+
+@dataclass
+class Trace(Effect):
+    """Record an application-level trace marker (iteration start...)."""
+
+    kind: str
+    info: dict = field(default_factory=dict)
+
+
+__all__ = [
+    "Effect",
+    "Compute",
+    "Sleep",
+    "Send",
+    "SendHandle",
+    "Drain",
+    "Recv",
+    "Barrier",
+    "Now",
+    "Trace",
+]

@@ -1,0 +1,52 @@
+"""Message record shared by the simulated and real-thread backends."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_MESSAGE_IDS = itertools.count()
+
+
+@dataclass
+class Message:
+    """A tagged message between two ranks.
+
+    Attributes
+    ----------
+    src, dst:
+        Sender / receiver ranks.
+    tag:
+        Application-level tag (``"data"``, ``"state"``, ``"stop"``...).
+    payload:
+        Arbitrary Python object; for data messages this is typically a
+        ``(block_index, numpy array)`` pair.
+    size:
+        Size in bytes used by the transport model.  For the real-thread
+        backend this is informational only.
+    sent_at:
+        Virtual (or wall) time at which the send was issued.
+    delivered_at:
+        Time at which the message became *visible* to the receiver,
+        i.e. after network transfer and receive-path handling.  Filled
+        by the transport.
+    """
+
+    src: int
+    dst: int
+    tag: str
+    payload: Any
+    size: float = 0.0
+    sent_at: float = 0.0
+    delivered_at: float = float("nan")
+    uid: int = field(default_factory=lambda: next(_MESSAGE_IDS))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(#{self.uid} {self.src}->{self.dst} tag={self.tag!r} "
+            f"size={self.size:g} sent={self.sent_at:.6f})"
+        )
+
+
+__all__ = ["Message"]

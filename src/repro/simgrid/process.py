@@ -1,0 +1,243 @@
+"""Coroutine interpreter: runs algorithm generators on simulated hosts.
+
+A :class:`Process` owns one algorithm coroutine (a generator yielding
+:mod:`repro.simgrid.effects` objects) bound to one host and one rank.
+The interpreter advances the generator, translating each effect into
+engine events, trace spans and transport calls.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Generator, Optional, TYPE_CHECKING
+
+from repro.simgrid import effects as fx
+from repro.simgrid.engine import SimulationError
+from repro.simgrid.host import Host
+from repro.simgrid.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simgrid.world import World
+
+
+class ProcessState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class Process:
+    """One simulated program instance (one per processor, as in the paper)."""
+
+    def __init__(
+        self,
+        world: "World",
+        rank: int,
+        host: Host,
+        coroutine: Generator[fx.Effect, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        self.world = world
+        self.rank = rank
+        self.host = host
+        self.coroutine = coroutine
+        self.name = name or f"p{rank}@{host.name}"
+        self.state = ProcessState.READY
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self._blocked_since: float = 0.0
+        self._recv_timeout_event = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.state is not ProcessState.READY:
+            raise SimulationError(f"{self.name}: already started")
+        self.state = ProcessState.RUNNING
+        self.world.engine.at(self.world.engine.now, lambda: self._advance(None))
+
+    def _advance(self, value: Any) -> None:
+        """Send ``value`` into the coroutine and dispatch the next effect."""
+        try:
+            self._advance_inner(value)
+        except BaseException as exc:  # noqa: BLE001 - report and stop
+            # Failures in effect handling (e.g. sending to a host with
+            # no route) are attributed to the process, like failures
+            # inside the coroutine itself.
+            if self.state is not ProcessState.FAILED:
+                self.state = ProcessState.FAILED
+                self.exception = exc
+                self.world._process_failed(self, exc)
+
+    def _advance_inner(self, value: Any) -> None:
+        engine = self.world.engine
+        while True:
+            try:
+                effect = self.coroutine.send(value)
+            except StopIteration as stop:
+                self.state = ProcessState.DONE
+                self.result = stop.value
+                self.world._process_finished(self)
+                return
+            except BaseException as exc:  # noqa: BLE001 - report and stop
+                self.state = ProcessState.FAILED
+                self.exception = exc
+                self.world._process_failed(self, exc)
+                return
+
+            # Effects that resume immediately are handled in this loop
+            # (no engine round-trip); time-consuming ones schedule a
+            # callback and return.
+            if isinstance(effect, fx.Now):
+                value = engine.now
+                continue
+            if isinstance(effect, fx.Trace):
+                self.world.trace.add_marker(self.rank, engine.now, effect.kind, effect.info)
+                value = None
+                continue
+            if isinstance(effect, fx.Drain):
+                value = self.world.transport.mailboxes[self.rank].drain(effect.tag)
+                continue
+            if isinstance(effect, fx.Compute):
+                self._do_compute(effect)
+                return
+            if isinstance(effect, fx.Sleep):
+                self._do_sleep(effect)
+                return
+            if isinstance(effect, fx.Send):
+                handle = self._do_send(effect)
+                if self.world.policy.blocking_send:
+                    rendezvous = effect.size >= self.world.policy.rendezvous_threshold
+                    self._block_until_handle(handle, rendezvous=rendezvous)
+                    return
+                value = handle
+                continue
+            if isinstance(effect, fx.Recv):
+                if self._try_recv(effect):
+                    value = self._recv_value
+                    continue
+                return
+            if isinstance(effect, fx.Barrier):
+                self.state = ProcessState.BLOCKED
+                self._blocked_since = engine.now
+                self.world.barrier_arrive(self)
+                return
+            raise SimulationError(f"{self.name}: unknown effect {effect!r}")
+
+    # ------------------------------------------------------------------
+    # effect handlers
+    # ------------------------------------------------------------------
+    def _do_compute(self, effect: fx.Compute) -> None:
+        engine = self.world.engine
+        duration = self.host.compute_time(effect.flops)
+        start = engine.now
+        self.world.trace.add_span(self.rank, start, start + duration, "compute", effect.label)
+        engine.after(duration, lambda: self._advance(None), label=f"compute[{self.rank}]")
+
+    def _do_sleep(self, effect: fx.Sleep) -> None:
+        engine = self.world.engine
+        if effect.seconds < 0:
+            raise SimulationError("negative sleep")
+        self.world.trace.add_span(
+            self.rank, engine.now, engine.now + effect.seconds, "idle", effect.label
+        )
+        engine.after(effect.seconds, lambda: self._advance(None), label=f"sleep[{self.rank}]")
+
+    def _do_send(self, effect: fx.Send) -> fx.SendHandle:
+        handle = fx.SendHandle()
+        message = Message(
+            src=self.rank,
+            dst=effect.dest,
+            tag=effect.tag,
+            payload=effect.payload,
+            size=effect.size,
+        )
+        if effect.dest == self.rank:
+            # Loopback: visible immediately, no transport involvement.
+            message.sent_at = self.world.engine.now
+            message.delivered_at = self.world.engine.now
+            self.world.transport.mailboxes[self.rank].deposit(message)
+            handle.complete(self.world.engine.now)
+            return handle
+        self.world.transport.send(message, handle)
+        return handle
+
+    def _block_until_handle(self, handle: fx.SendHandle, rendezvous: bool = False) -> None:
+        engine = self.world.engine
+        self.state = ProcessState.BLOCKED
+        start = engine.now
+
+        def resume(when: float) -> None:
+            self.world.trace.add_span(self.rank, start, when, "comm", "blocking-send")
+            self.state = ProcessState.RUNNING
+            # The handle completion callback may fire inside transport
+            # event processing; bounce through the engine to keep the
+            # interpreter re-entrant-safe.
+            engine.at(when, lambda: self._advance(handle))
+
+        if rendezvous:
+            # Large-message MPI semantics: the send returns only once
+            # the receiver has the data.
+            handle.on_complete(resume)
+        else:
+            # Eager/buffered send: resumes when the sender-side
+            # transfer is finished (socket buffer drained).
+            handle.on_sender_release(resume)
+
+    def _try_recv(self, effect: fx.Recv) -> bool:
+        """Attempt to satisfy a blocking receive immediately.
+
+        Returns True (and stores the messages in ``_recv_value``) when
+        enough messages are already visible; otherwise installs a
+        mailbox waiter / timeout and returns False.
+        """
+        mailbox = self.world.transport.mailboxes[self.rank]
+        needed = max(1, effect.count)
+        if mailbox.peek_count(effect.tag) >= needed:
+            self._recv_value = mailbox.drain(effect.tag)
+            return True
+
+        engine = self.world.engine
+        self.state = ProcessState.BLOCKED
+        start = engine.now
+        timeout_event = None
+
+        def wake() -> None:
+            nonlocal timeout_event
+            if mailbox.peek_count(effect.tag) >= needed:
+                if timeout_event is not None:
+                    timeout_event.cancel()
+                finish(timed_out=False)
+            else:
+                mailbox.set_waiter(wake)
+
+        def on_timeout() -> None:
+            mailbox.clear_waiter()
+            finish(timed_out=True)
+
+        def finish(timed_out: bool) -> None:
+            now = engine.now
+            self.world.trace.add_span(self.rank, start, now, "comm", "recv-wait")
+            self.state = ProcessState.RUNNING
+            msgs = [] if timed_out else mailbox.drain(effect.tag)
+            engine.at(now, lambda: self._advance(msgs))
+
+        mailbox.set_waiter(wake)
+        if effect.timeout is not None:
+            timeout_event = engine.after(effect.timeout, on_timeout, label="recv-timeout")
+        return False
+
+    # Called by the barrier manager.
+    def barrier_release(self, release_time: float) -> None:
+        self.world.trace.add_span(
+            self.rank, self._blocked_since, release_time, "idle", "barrier"
+        )
+        self.state = ProcessState.RUNNING
+        self.world.engine.at(release_time, lambda: self._advance(None))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process({self.name}, state={self.state.value})"
+
+
+__all__ = ["Process", "ProcessState"]

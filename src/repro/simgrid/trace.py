@@ -1,0 +1,167 @@
+"""Gantt-style execution traces.
+
+Figures 1 and 2 of the paper contrast the execution flow of a SISC
+algorithm (computation blocks separated by idle waits) with an AIAC
+algorithm (back-to-back computation, communications overlapped).  The
+simulator records per-rank activity spans here so the experiment
+harness can regenerate those figures as data (span tables, utilisation
+percentages and an ASCII rendering).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Span:
+    """One contiguous activity interval on one rank."""
+
+    rank: int
+    start: float
+    end: float
+    kind: str  # "compute" | "idle" | "comm" | custom
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Marker:
+    """A point event (message send/receive, iteration boundary...)."""
+
+    rank: int
+    time: float
+    kind: str
+    info: dict = field(default_factory=dict)
+
+
+class GanttTrace:
+    """Accumulates spans and point markers for a run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.spans: List[Span] = []
+        self.markers: List[Marker] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def add_span(self, rank: int, start: float, end: float, kind: str, label: str = "") -> None:
+        if not self.enabled:
+            return
+        if end < start:
+            raise ValueError(f"span ends before it starts: [{start}, {end}]")
+        if end > start:  # zero-length spans carry no information
+            self.spans.append(Span(rank, start, end, kind, label))
+
+    def add_marker(self, rank: int, time: float, kind: str, info: Optional[dict] = None) -> None:
+        if not self.enabled:
+            return
+        self.markers.append(Marker(rank, time, kind, dict(info or {})))
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def spans_for(self, rank: int, kind: Optional[str] = None) -> List[Span]:
+        return [
+            s
+            for s in self.spans
+            if s.rank == rank and (kind is None or s.kind == kind)
+        ]
+
+    def ranks(self) -> List[int]:
+        return sorted({s.rank for s in self.spans} | {m.rank for m in self.markers})
+
+    def makespan(self) -> float:
+        if not self.spans:
+            return 0.0
+        return max(s.end for s in self.spans)
+
+    def busy_time(self, rank: int) -> float:
+        """Total compute time on ``rank``."""
+        return sum(s.duration for s in self.spans_for(rank, "compute"))
+
+    def idle_time(self, rank: int, horizon: Optional[float] = None) -> float:
+        """Time not spent computing, from 0 to ``horizon`` (default makespan of the rank)."""
+        spans = sorted(self.spans_for(rank, "compute"), key=lambda s: s.start)
+        if horizon is None:
+            horizon = max((s.end for s in spans), default=0.0)
+        busy = 0.0
+        cursor = 0.0
+        for s in spans:
+            if s.start > cursor:
+                cursor = s.start
+            if s.end > cursor:
+                busy += min(s.end, horizon) - cursor
+                cursor = s.end
+            if cursor >= horizon:
+                break
+        return max(0.0, horizon - busy)
+
+    def utilisation(self, rank: int) -> float:
+        """Fraction of the global makespan spent computing on ``rank``."""
+        horizon = self.makespan()
+        if horizon <= 0:
+            return 0.0
+        return 1.0 - self.idle_time(rank, horizon) / horizon
+
+    def idle_gaps(self, rank: int, min_gap: float = 0.0) -> List[Tuple[float, float]]:
+        """Gaps between successive compute spans on ``rank``.
+
+        These are the "white spaces" of Figure 1 in the paper.
+        """
+        spans = sorted(self.spans_for(rank, "compute"), key=lambda s: s.start)
+        gaps: List[Tuple[float, float]] = []
+        cursor: Optional[float] = None
+        for s in spans:
+            if cursor is not None and s.start - cursor > min_gap:
+                gaps.append((cursor, s.start))
+            cursor = max(cursor or 0.0, s.end)
+        return gaps
+
+    def check_no_overlap(self, rank: int, kind: str = "compute") -> bool:
+        """Invariant: a host computes at most one thing at a time."""
+        spans = sorted(self.spans_for(rank, kind), key=lambda s: (s.start, s.end))
+        eps = 1e-12
+        for a, b in zip(spans, spans[1:]):
+            if b.start < a.end - eps:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def ascii_gantt(self, width: int = 72, symbols: Optional[Dict[str, str]] = None) -> str:
+        """Render the trace as rows of characters (one per rank).
+
+        ``#`` = compute, ``.`` = idle, ``~`` = communication wait.  The
+        output for a 2-process run visually matches Figures 1 and 2 of
+        the paper.
+        """
+        symbols = symbols or {"compute": "#", "comm": "~", "idle": "."}
+        horizon = self.makespan()
+        if horizon <= 0:
+            return "(empty trace)"
+        lines = []
+        for rank in self.ranks():
+            row = ["."] * width
+            for s in self.spans_for(rank):
+                sym = symbols.get(s.kind)
+                if sym is None:
+                    continue
+                i0 = int(s.start / horizon * (width - 1))
+                i1 = max(i0 + 1, int(s.end / horizon * (width - 1)) + 1)
+                for i in range(i0, min(i1, width)):
+                    if row[i] == "." or sym == "#":
+                        row[i] = sym
+            lines.append(f"P{rank:<3d} |{''.join(row)}|")
+        lines.append(f"     0{'-' * (width - 10)}{horizon:8.3f}s")
+        return "\n".join(lines)
+
+
+__all__ = ["GanttTrace", "Span", "Marker"]

@@ -1,0 +1,148 @@
+"""Tests of the formal asynchronous-iteration model (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import (
+    AsyncSchedule,
+    BlockFixedPoint,
+    bounded_random_schedule,
+    global_residual,
+    run_asynchronous,
+    run_synchronous,
+    synchronous_schedule,
+)
+
+
+def _contracting_map(m=3, block_size=2, rho=0.5, seed=0):
+    """A linear block map x -> B x + c with ||B||_inf = rho < 1."""
+    rng = np.random.default_rng(seed)
+    n = m * block_size
+    b_mat = rng.uniform(-1.0, 1.0, (n, n))
+    b_mat *= rho / np.abs(b_mat).sum(axis=1, keepdims=True)
+    c = rng.standard_normal(n)
+    fixed_point = np.linalg.solve(np.eye(n) - b_mat, c)
+
+    def apply_block(i, blocks):
+        x = np.concatenate(blocks)
+        out = b_mat @ x + c
+        return out[i * block_size : (i + 1) * block_size]
+
+    g = BlockFixedPoint(m=m, apply_block=apply_block)
+    x0 = [np.zeros(block_size) for _ in range(m)]
+    fp_blocks = [
+        fixed_point[i * block_size : (i + 1) * block_size] for i in range(m)
+    ]
+    return g, x0, fp_blocks
+
+
+def test_synchronous_run_matches_closed_form():
+    g, x0, fp = _contracting_map()
+    history = run_synchronous(g, x0, steps=200)
+    assert global_residual(history[-1], fp) < 1e-10
+
+
+def test_synchronous_schedule_reproduces_classic_iteration():
+    g, x0, _ = _contracting_map()
+    history = run_synchronous(g, x0, steps=5)
+    state = [np.array(b) for b in x0]
+    for step in range(5):
+        state = g.apply(state)
+    assert global_residual(history[-1], state) == 0.0
+
+
+def test_inactive_blocks_keep_their_value():
+    g, x0, _ = _contracting_map()
+    schedule = AsyncSchedule(
+        activations=lambda t: {0},     # only block 0 ever updates
+        delay=lambda i, j, t: 0,
+    )
+    history = run_asynchronous(g, x0, schedule, steps=4)
+    for t in range(1, 5):
+        assert np.array_equal(history[t][1], x0[1])
+        assert np.array_equal(history[t][2], x0[2])
+
+
+def test_delays_read_older_states():
+    g, x0, fp = _contracting_map()
+    # Constant delay of 1 everywhere: still converges, just slower.
+    lagged = AsyncSchedule(
+        activations=lambda t: None,
+        delay=lambda i, j, t: 0 if i == j else 1,
+    )
+    history = run_asynchronous(g, x0, lagged, steps=400)
+    assert global_residual(history[-1], fp) < 1e-8
+
+
+def test_asynchronous_converges_under_valid_schedule():
+    g, x0, fp = _contracting_map()
+    schedule = bounded_random_schedule(m=3, max_delay=3, idle_period=2, seed=7)
+    history = run_asynchronous(g, x0, schedule, steps=600)
+    assert global_residual(history[-1], fp) < 1e-8
+
+
+def test_asynchronous_residual_monotone_envelope():
+    """The error envelope of an async contraction shrinks over time."""
+    g, x0, fp = _contracting_map(rho=0.4)
+    schedule = bounded_random_schedule(m=3, max_delay=2, idle_period=2, seed=3)
+    history = run_asynchronous(g, x0, schedule, steps=300)
+    errors = [global_residual(state, fp) for state in history]
+    assert errors[-1] < errors[0] * 1e-6
+    # Sampled envelope non-increasing (allow floating-point floor).
+    assert errors[100] < errors[0]
+    assert errors[200] <= errors[100]
+
+
+def test_schedule_validation_catches_bad_blocks():
+    bad = AsyncSchedule(activations=lambda t: {99}, delay=lambda i, j, t: 0)
+    with pytest.raises(ValueError):
+        bad.validate_against(m=3, horizon=2)
+
+
+def test_schedule_validation_catches_negative_delay():
+    bad = AsyncSchedule(activations=lambda t: {0}, delay=lambda i, j, t: -1)
+    with pytest.raises(ValueError):
+        bad.validate_against(m=2, horizon=1)
+
+
+def test_block_count_mismatch_rejected():
+    g, x0, _ = _contracting_map()
+    with pytest.raises(ValueError):
+        run_asynchronous(g, x0[:-1], synchronous_schedule(), steps=1)
+
+
+def test_bounded_random_schedule_is_fair_and_bounded():
+    schedule = bounded_random_schedule(m=4, max_delay=5, idle_period=3, seed=11)
+    schedule.validate_against(m=4, horizon=100)
+    # No block is permanently idle over a long horizon.
+    active_counts = {i: 0 for i in range(4)}
+    for t in range(200):
+        for i in schedule.activations(t):
+            active_counts[i] += 1
+    assert all(count > 10 for count in active_counts.values())
+    # Delays stay within the bound.
+    assert all(
+        0 <= schedule.delay(i, j, t) <= 5
+        for i in range(4) for j in range(4) for t in range(50)
+    )
+
+
+@given(
+    seed=st.integers(0, 300),
+    rho=st.floats(0.1, 0.85),
+    max_delay=st.integers(0, 4),
+)
+@settings(max_examples=25, deadline=None)
+def test_convergence_property_contraction_bounded_delays(seed, rho, max_delay):
+    """Bertsekas-Tsitsiklis / El Tarazi: a max-norm contraction with
+    bounded delays and no permanently idle block converges to the
+    unique fixed point under ANY admissible schedule."""
+    g, x0, fp = _contracting_map(m=3, block_size=1, rho=rho, seed=seed)
+    schedule = bounded_random_schedule(m=3, max_delay=max_delay, idle_period=2, seed=seed)
+    steps = 700
+    history = run_asynchronous(g, x0, schedule, steps=steps)
+    start = global_residual(history[0], fp)
+    end = global_residual(history[-1], fp)
+    assert end < max(1e-8, start * 1e-4)

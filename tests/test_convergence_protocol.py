@@ -1,0 +1,186 @@
+"""Tests of the convergence-detection building blocks (Section 4.3)."""
+
+import pytest
+
+from repro.core.comm import SendScheduler
+from repro.core.convergence import CoordinatorPanel, LocalConvergenceTracker
+from repro.simgrid.effects import SendHandle
+
+
+# ----------------------------------------------------------------------
+# local tracker with oscillation guard
+# ----------------------------------------------------------------------
+def test_tracker_requires_consecutive_iterations():
+    tracker = LocalConvergenceTracker(threshold=1e-3, stability_count=3)
+    assert not tracker.update(1e-4)
+    assert not tracker.update(1e-4)
+    assert tracker.update(1e-4)  # third consecutive -> state change
+    assert tracker.converged
+
+
+def test_tracker_oscillation_resets_counter():
+    tracker = LocalConvergenceTracker(threshold=1e-3, stability_count=2)
+    tracker.update(1e-4)
+    tracker.update(1.0)     # spike cancels progress
+    tracker.update(1e-4)
+    assert not tracker.converged
+    tracker.update(1e-4)
+    assert tracker.converged
+
+
+def test_tracker_reports_change_both_directions():
+    tracker = LocalConvergenceTracker(threshold=1e-3, stability_count=1)
+    assert tracker.update(1e-4) is True      # -> converged
+    assert tracker.update(1e-4) is False     # no change
+    assert tracker.update(5.0) is True       # -> diverged again
+    assert tracker.state_changes == 2
+
+
+def test_tracker_reset_rearms():
+    tracker = LocalConvergenceTracker(threshold=1e-3, stability_count=1)
+    tracker.update(1e-6)
+    assert tracker.converged
+    tracker.reset()
+    assert not tracker.converged
+    assert tracker.last_residual == float("inf")
+
+
+def test_tracker_validation():
+    with pytest.raises(ValueError):
+        LocalConvergenceTracker(threshold=0.0)
+    with pytest.raises(ValueError):
+        LocalConvergenceTracker(threshold=1.0, stability_count=0)
+    with pytest.raises(ValueError):
+        LocalConvergenceTracker(threshold=1.0).update(-1.0)
+
+
+def test_tracker_infinity_never_converges():
+    tracker = LocalConvergenceTracker(threshold=1e-3, stability_count=1)
+    for _ in range(10):
+        tracker.update(float("inf"))
+    assert not tracker.converged
+
+
+# ----------------------------------------------------------------------
+# coordinator panel
+# ----------------------------------------------------------------------
+def test_panel_all_converged_requires_everyone():
+    panel = CoordinatorPanel(3)
+    panel.update(0, 1, True)
+    panel.update(1, 1, True)
+    assert not panel.all_converged()
+    panel.update(2, 1, True)
+    assert panel.all_converged()
+
+
+def test_panel_ignores_stale_updates():
+    panel = CoordinatorPanel(2)
+    panel.update(0, iteration=10, converged=True)
+    panel.update(0, iteration=5, converged=False)  # out of order: ignored
+    panel.update(1, iteration=1, converged=True)
+    assert panel.all_converged()
+    assert panel.stale_messages == 1
+
+
+def test_panel_latest_update_wins():
+    panel = CoordinatorPanel(1)
+    panel.update(0, 1, True)
+    panel.update(0, 2, False)
+    assert not panel.all_converged()
+
+
+def test_panel_snapshot_and_counts():
+    panel = CoordinatorPanel(3)
+    panel.update(1, 1, True)
+    assert panel.converged_count() == 1
+    assert panel.snapshot() == {0: False, 1: True, 2: False}
+
+
+def test_panel_reset():
+    panel = CoordinatorPanel(2)
+    panel.update(0, 1, True)
+    panel.update(1, 1, True)
+    panel.reset()
+    assert not panel.all_converged()
+
+
+def test_panel_validation():
+    with pytest.raises(ValueError):
+        CoordinatorPanel(0)
+    with pytest.raises(ValueError):
+        CoordinatorPanel(2).update(5, 1, True)
+
+
+# ----------------------------------------------------------------------
+# skip-send scheduler
+# ----------------------------------------------------------------------
+def test_scheduler_allows_first_send():
+    scheduler = SendScheduler()
+    assert scheduler.can_send(1, "data")
+
+
+def test_scheduler_blocks_while_in_flight():
+    scheduler = SendScheduler()
+    handle = SendHandle()
+    scheduler.record(1, "data", handle)
+    assert not scheduler.can_send(1, "data")
+    assert scheduler.can_send(2, "data")        # other destination free
+    assert scheduler.can_send(1, "other-tag")   # other channel free
+
+
+def test_scheduler_unblocks_on_sender_completion():
+    scheduler = SendScheduler()
+    handle = SendHandle()
+    scheduler.record(1, "data", handle)
+    handle.release_sender(1.0)
+    assert scheduler.can_send(1, "data")
+
+
+def test_scheduler_counts_sent_and_skipped():
+    scheduler = SendScheduler()
+    scheduler.record(1, "d", SendHandle())
+    scheduler.skip()
+    scheduler.skip()
+    assert scheduler.sent == 1
+    assert scheduler.skipped == 2
+    assert scheduler.offered == 3
+    assert scheduler.stats()["pending"] == 1
+
+
+def test_scheduler_pending_count_tracks_completion():
+    scheduler = SendScheduler()
+    h1, h2 = SendHandle(), SendHandle()
+    scheduler.record(1, "d", h1)
+    scheduler.record(2, "d", h2)
+    assert scheduler.pending_count() == 2
+    h1.complete(1.0)
+    assert scheduler.pending_count() == 1
+
+
+# ----------------------------------------------------------------------
+# send handle milestones
+# ----------------------------------------------------------------------
+def test_handle_completion_implies_sender_done():
+    handle = SendHandle()
+    handle.complete(2.0)
+    assert handle.sender_done and handle.done
+    assert handle.sender_done_at == 2.0
+
+
+def test_handle_callbacks_fire_in_order():
+    handle = SendHandle()
+    events = []
+    handle.on_sender_release(lambda t: events.append(("release", t)))
+    handle.on_complete(lambda t: events.append(("complete", t)))
+    handle.release_sender(1.0)
+    handle.complete(2.0)
+    assert events == [("release", 1.0), ("complete", 2.0)]
+
+
+def test_handle_late_callbacks_fire_immediately():
+    handle = SendHandle()
+    handle.complete(3.0)
+    events = []
+    handle.on_complete(lambda t: events.append(t))
+    handle.on_sender_release(lambda t: events.append(t))
+    assert events == [3.0, 3.0]

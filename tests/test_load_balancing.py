@@ -1,0 +1,139 @@
+"""Tests for the speed-proportional load-balancing extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aiac import AIACOptions
+from repro.core.run import simulate
+from repro.clusters import ethernet_wan
+from repro.envs import get_environment
+from repro.linalg.partition import WeightedPartition
+from repro.problems.sparse_linear import (
+    SparseLinearConfig,
+    SparseLinearProblem,
+    balanced_local_factory,
+)
+
+
+# ----------------------------------------------------------------------
+# weighted partition
+# ----------------------------------------------------------------------
+def test_weighted_partition_proportional_sizes():
+    part = WeightedPartition(100, [1.0, 2.0, 1.0])
+    sizes = [part.size(b) for b in range(3)]
+    assert sum(sizes) == 100
+    assert sizes[1] == 50
+    assert sizes[0] == sizes[2] == 25
+
+
+def test_weighted_partition_covers_range_contiguously():
+    part = WeightedPartition(37, [3.0, 1.0, 2.0, 5.0])
+    cursor = 0
+    for b in range(part.m):
+        lo, hi = part.bounds(b)
+        assert lo == cursor and hi > lo
+        cursor = hi
+    assert cursor == 37
+
+
+def test_weighted_partition_minimum_one_element():
+    part = WeightedPartition(5, [1000.0, 1.0, 1.0])
+    assert all(part.size(b) >= 1 for b in range(3))
+    assert sum(part.size(b) for b in range(3)) == 5
+
+
+def test_weighted_partition_owner_and_local():
+    part = WeightedPartition(30, [1.0, 3.0])
+    for idx in range(30):
+        b = part.owner(idx)
+        lo, hi = part.bounds(b)
+        assert lo <= idx < hi
+        assert part.to_local(b, idx) == idx - lo
+
+
+def test_weighted_partition_scatter_gather():
+    part = WeightedPartition(20, [2.0, 1.0, 1.0])
+    x = np.arange(20.0)
+    assert np.array_equal(part.gather(part.scatter(x)), x)
+
+
+def test_weighted_partition_equal_weights_match_block_partition():
+    from repro.linalg.partition import BlockPartition
+
+    weighted = WeightedPartition(22, [1.0] * 4)
+    uniform = BlockPartition(22, 4)
+    sizes_w = sorted(weighted.size(b) for b in range(4))
+    sizes_u = sorted(uniform.size(b) for b in range(4))
+    assert sizes_w == sizes_u
+
+
+def test_weighted_partition_validation():
+    with pytest.raises(ValueError):
+        WeightedPartition(10, [])
+    with pytest.raises(ValueError):
+        WeightedPartition(10, [1.0, -1.0])
+    with pytest.raises(ValueError):
+        WeightedPartition(2, [1.0, 1.0, 1.0])
+    with pytest.raises(IndexError):
+        WeightedPartition(10, [1.0]).bounds(1)
+
+
+@given(
+    n=st.integers(5, 300),
+    weights=st.lists(st.floats(0.1, 10.0), min_size=1, max_size=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_weighted_partition_properties(n, weights):
+    if len(weights) > n:
+        weights = weights[:n]
+    part = WeightedPartition(n, weights)
+    sizes = [part.size(b) for b in range(part.m)]
+    assert sum(sizes) == n
+    assert all(s >= 1 for s in sizes)
+    # Proportionality within rounding: |size - ideal| <= m.
+    total_w = sum(weights)
+    for size, w in zip(sizes, weights):
+        assert abs(size - n * w / total_w) <= len(weights) + 1
+
+
+# ----------------------------------------------------------------------
+# balanced runs
+# ----------------------------------------------------------------------
+PROBLEM = SparseLinearProblem(SparseLinearConfig(n=600, dominance=0.8, eps=1e-6))
+
+
+def test_balanced_factory_produces_consistent_locals():
+    speeds = [1.0, 2.0, 3.0]
+    factory = balanced_local_factory(PROBLEM, speeds)
+    locals_ = [factory(r, 3) for r in range(3)]
+    sizes = [s.hi - s.lo for s in locals_]
+    assert sum(sizes) == PROBLEM.n
+    assert sizes[2] > sizes[0]  # fastest host owns the biggest block
+    with pytest.raises(ValueError):
+        factory(0, 4)
+
+
+def test_balanced_run_converges_correctly():
+    opts = AIACOptions(eps=1e-6, stability_count=8, max_iterations=20_000)
+    env = get_environment("pm2")
+    net = ethernet_wan(n_hosts=6, n_sites=3, speed_scale=0.003, wan_latency=0.018)
+    factory = balanced_local_factory(PROBLEM, [h.speed for h in net.hosts])
+    result = simulate(
+        factory, 6, net, env.comm_policy("sparse_linear", 6),
+        worker="aiac", opts=opts,
+    )
+    assert result.converged
+    assert PROBLEM.solution_error(result.solution()) < 1e-3
+
+
+def test_balanced_equalises_per_iteration_compute():
+    """Block flops proportional to speed => equal iteration times."""
+    speeds = [1.0, 2.0, 4.0]
+    factory = balanced_local_factory(PROBLEM, speeds)
+    locals_ = [factory(r, 3) for r in range(3)]
+    times = [
+        s._flops_per_iter / speed for s, speed in zip(locals_, speeds)
+    ]
+    assert max(times) / min(times) < 1.6  # vs 4.0 unbalanced

@@ -1,0 +1,245 @@
+"""Tests for the iterative solvers: gradient descent, GMRES, Newton."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.gradient import FixedStepGradient, gradient_descent
+from repro.linalg.gmres import gmres
+from repro.linalg.newton import fd_jacobian_operator, newton
+from repro.problems.sparse_linear import SparseLinearConfig, SparseLinearProblem
+
+
+# ----------------------------------------------------------------------
+# fixed-step gradient descent (Eq. 4)
+# ----------------------------------------------------------------------
+def _problem(n=120, dominance=0.7, seed=1, **kw):
+    return SparseLinearProblem(
+        SparseLinearConfig(n=n, n_diagonals=8, dominance=dominance, seed=seed, **kw)
+    )
+
+
+def test_gradient_descent_converges_to_true_solution():
+    p = _problem()
+    result = p.solve_sequential(eps=1e-10)
+    assert result.converged
+    assert p.solution_error(result.x) < 1e-8
+
+
+def test_gradient_descent_gamma_one_is_jacobi():
+    """gamma=1 must reproduce the classic Jacobi update exactly."""
+    p = _problem(n=40)
+    kernel = FixedStepGradient(p.matrix, p.b, gamma=1.0)
+    x = np.random.default_rng(0).standard_normal(40)
+    dense = p.matrix.to_dense()
+    diag = np.diag(dense)
+    off = dense - np.diag(diag)
+    jacobi = (p.b - off @ x) / diag
+    assert np.allclose(kernel.update_block(0, 40, x), jacobi)
+
+
+def test_gradient_block_updates_compose_to_full_update():
+    p = _problem(n=50)
+    kernel = p.kernel
+    x = np.random.default_rng(2).standard_normal(50)
+    full = kernel.update_block(0, 50, x)
+    pieces = [kernel.update_block(lo, hi, x) for lo, hi in [(0, 17), (17, 34), (34, 50)]]
+    assert np.allclose(np.concatenate(pieces), full)
+
+
+def test_gradient_descent_iteration_cap():
+    p = _problem()
+    result = p.solve_sequential(eps=1e-16, max_iterations=3)
+    assert not result.converged
+    assert result.iterations == 3
+
+
+def test_gradient_rejects_bad_gamma():
+    p = _problem(n=20)
+    with pytest.raises(ValueError):
+        FixedStepGradient(p.matrix, p.b, gamma=0.0)
+
+
+def test_gradient_update_flops_positive_and_scales():
+    p = _problem(n=60)
+    f_small = p.kernel.update_flops(0, 10)
+    f_large = p.kernel.update_flops(0, 60)
+    assert 0 < f_small < f_large
+
+
+def test_gamma_under_relaxation_still_converges():
+    p = _problem(n=60)
+    result = gradient_descent(p.matrix, p.b, gamma=0.8, eps=1e-9, max_iterations=50_000)
+    assert result.converged
+    assert p.solution_error(result.x) < 1e-6
+
+
+def test_spectral_radius_below_one_by_construction():
+    for dominance in (0.5, 0.8, 0.95):
+        p = _problem(dominance=dominance, seed=3)
+        assert p.spectral_bound() <= dominance + 1e-12
+
+
+def test_negative_sign_structure_matches_bound():
+    """All-negative off-diagonals make the Jacobi matrix non-negative,
+    so its true spectral radius equals the row-sum bound."""
+    p = _problem(n=80, dominance=0.9, sign_structure="negative")
+    dense = p.matrix.to_dense()
+    diag = np.diag(dense)
+    b_mat = -(dense - np.diag(diag)) / diag[:, None]
+    rho = max(abs(np.linalg.eigvals(b_mat)))
+    # Boundary rows have truncated diagonals, so the Perron value sits a
+    # little under the interior row-sum bound of 0.9.
+    assert 0.8 <= rho <= 0.9 + 1e-9
+
+
+def test_unknown_sign_structure_rejected():
+    with pytest.raises(ValueError):
+        _problem(sign_structure="sideways")
+
+
+@given(seed=st.integers(0, 200))
+@settings(max_examples=15, deadline=None)
+def test_gradient_descent_always_converges_when_dominant(seed):
+    p = _problem(n=40, dominance=0.6, seed=seed)
+    result = p.solve_sequential(eps=1e-8)
+    assert result.converged
+    assert p.solution_error(result.x) < 1e-5
+
+
+# ----------------------------------------------------------------------
+# GMRES
+# ----------------------------------------------------------------------
+def test_gmres_solves_identity():
+    b = np.array([1.0, 2.0, 3.0])
+    result = gmres(lambda v: v, b)
+    assert result.converged
+    assert np.allclose(result.x, b)
+
+
+def test_gmres_solves_dense_system():
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((20, 20)) + 20 * np.eye(20)
+    x_true = rng.standard_normal(20)
+    b = a @ x_true
+    result = gmres(lambda v: a @ v, b, tol=1e-12)
+    assert result.converged
+    assert np.allclose(result.x, x_true, atol=1e-8)
+
+
+def test_gmres_zero_rhs_returns_zero():
+    result = gmres(lambda v: 2 * v, np.zeros(5))
+    assert result.converged and np.allclose(result.x, 0.0)
+
+
+def test_gmres_restarting_still_converges():
+    rng = np.random.default_rng(8)
+    a = rng.standard_normal((30, 30)) + 30 * np.eye(30)
+    b = rng.standard_normal(30)
+    result = gmres(lambda v: a @ v, b, tol=1e-10, restart=5)
+    assert result.converged
+    assert result.restarts >= 1
+    assert np.linalg.norm(a @ result.x - b) <= 1e-8 * np.linalg.norm(b) + 1e-12
+
+
+def test_gmres_honours_x0():
+    rng = np.random.default_rng(9)
+    a = rng.standard_normal((10, 10)) + 10 * np.eye(10)
+    x_true = rng.standard_normal(10)
+    b = a @ x_true
+    result = gmres(lambda v: a @ v, b, x0=x_true.copy(), tol=1e-12)
+    assert result.converged and result.iterations == 0
+
+
+def test_gmres_iteration_cap():
+    rng = np.random.default_rng(10)
+    a = rng.standard_normal((40, 40)) + 40 * np.eye(40)
+    b = rng.standard_normal(40)
+    result = gmres(lambda v: a @ v, b, tol=1e-14, max_iterations=2, restart=2)
+    assert result.iterations <= 2
+
+
+def test_gmres_validation():
+    with pytest.raises(ValueError):
+        gmres(lambda v: v, np.zeros((2, 2)))
+    with pytest.raises(ValueError):
+        gmres(lambda v: v, np.zeros(3), restart=0)
+    with pytest.raises(ValueError):
+        gmres(lambda v: v, np.zeros(3), x0=np.zeros(4))
+
+
+def test_gmres_matches_scipy():
+    import scipy.sparse.linalg as spla
+    rng = np.random.default_rng(11)
+    a = rng.standard_normal((25, 25)) + 25 * np.eye(25)
+    b = rng.standard_normal(25)
+    ours = gmres(lambda v: a @ v, b, tol=1e-12)
+    theirs = np.linalg.solve(a, b)
+    assert np.allclose(ours.x, theirs, atol=1e-7)
+
+
+@given(seed=st.integers(0, 500), n=st.integers(2, 25))
+@settings(max_examples=25, deadline=None)
+def test_gmres_property_diagonally_dominant(seed, n):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    a += np.diag(np.abs(a).sum(axis=1) + 1.0)
+    x_true = rng.standard_normal(n)
+    b = a @ x_true
+    result = gmres(lambda v: a @ v, b, tol=1e-11, max_iterations=500)
+    assert result.converged
+    assert np.allclose(result.x, x_true, atol=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Newton
+# ----------------------------------------------------------------------
+def test_newton_scalar_root():
+    result = newton(lambda x: x * x - np.array([4.0]), np.array([3.0]), tol=1e-12)
+    assert result.converged
+    assert result.x[0] == pytest.approx(2.0)
+
+
+def test_newton_vector_root():
+    def func(v):
+        x, y = v
+        return np.array([x + y - 3.0, x * y - 2.0])
+
+    result = newton(func, np.array([5.0, 0.1]), tol=1e-10)
+    assert result.converged
+    assert sorted(result.x) == pytest.approx([1.0, 2.0], abs=1e-6)
+
+
+def test_newton_counts_function_evaluations():
+    result = newton(lambda x: x - np.array([1.0]), np.array([0.0]), tol=1e-12)
+    assert result.function_evaluations >= 2
+    assert result.gmres_iterations >= 1
+
+
+def test_newton_iteration_cap():
+    result = newton(lambda x: np.exp(x) + 1.0, np.array([0.0]), max_iterations=3)
+    assert not result.converged
+    assert result.iterations == 3
+
+
+def test_newton_damping_validation():
+    with pytest.raises(ValueError):
+        newton(lambda x: x, np.zeros(1), damping=0.0)
+
+
+def test_fd_jacobian_matches_analytic():
+    a = np.array([[3.0, 1.0], [0.5, 2.0]])
+    x = np.array([1.0, -1.0])
+
+    def func(v):
+        return a @ v
+
+    jac = fd_jacobian_operator(func, x, func(x))
+    for e in np.eye(2):
+        assert np.allclose(jac(e), a @ e, atol=1e-6)
+
+
+def test_fd_jacobian_zero_direction():
+    jac = fd_jacobian_operator(lambda v: v, np.ones(3), np.ones(3))
+    assert np.allclose(jac(np.zeros(3)), 0.0)

@@ -1,0 +1,136 @@
+"""Tests for the sparse linear problem instance (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.partition import BlockPartition
+from repro.problems.sparse_linear import (
+    PAPER_SPARSE_LINEAR,
+    SparseLinearConfig,
+    SparseLinearProblem,
+    spread_offsets,
+)
+
+
+def test_paper_parameters_match_table1():
+    assert PAPER_SPARSE_LINEAR.n == 2_000_000
+    assert PAPER_SPARSE_LINEAR.n_diagonals == 30
+
+
+def test_instance_has_requested_diagonals():
+    p = SparseLinearProblem(SparseLinearConfig(n=500, n_diagonals=30))
+    assert len(p.matrix.offsets) == 31  # 30 off-diagonals + main
+
+
+def test_spread_offsets_symmetric_and_spread():
+    offsets = spread_offsets(1000, 30)
+    assert len(offsets) == 30
+    assert sorted(offsets) == sorted(-o for o in offsets)  # symmetric
+    positive = sorted(o for o in offsets if o > 0)
+    assert positive[-1] > 1000 // 2  # reaches across the matrix
+
+
+def test_spread_offsets_small_matrix():
+    offsets = spread_offsets(10, 6)
+    assert len(offsets) == 6
+    assert all(abs(o) < 10 for o in offsets)
+    assert len(set(offsets)) == 6
+
+
+def test_spread_offsets_validation():
+    with pytest.raises(ValueError):
+        spread_offsets(100, 1)
+
+
+def test_rhs_is_consistent_with_true_solution():
+    p = SparseLinearProblem(SparseLinearConfig(n=200))
+    assert np.allclose(p.matrix.matvec(p.x_true), p.b)
+    assert p.solution_error(p.x_true) == 0.0
+
+
+def test_instance_generation_is_deterministic():
+    a = SparseLinearProblem(SparseLinearConfig(n=100, seed=5))
+    b = SparseLinearProblem(SparseLinearConfig(n=100, seed=5))
+    assert np.array_equal(a.b, b.b)
+    assert np.array_equal(a.matrix.data, b.matrix.data)
+    c = SparseLinearProblem(SparseLinearConfig(n=100, seed=6))
+    assert not np.array_equal(a.b, c.b)
+
+
+def test_local_solver_dependency_lists():
+    p = SparseLinearProblem(SparseLinearConfig(n=240))
+    local = p.make_local(1, 4)
+    assert 1 not in local.providers()
+    assert 1 not in local.receivers()
+    assert local.providers() <= set(range(4))
+
+
+def test_local_iterate_matches_sequential_block():
+    """A local iteration on fully fresh data equals the global Jacobi
+    update restricted to that block -- SISC does the same iterations
+    as the sequential algorithm."""
+    p = SparseLinearProblem(SparseLinearConfig(n=120))
+    size = 3
+    locals_ = [p.make_local(r, size) for r in range(size)]
+    x = np.zeros(p.n)
+    global_next = p.kernel.update_block(0, p.n, x)
+    results = [s.iterate() for s in locals_]
+    part = BlockPartition(p.n, size)
+    for r, (solver, res) in enumerate(zip(locals_, results)):
+        lo, hi = part.bounds(r)
+        assert np.allclose(solver.local_solution(), global_next[lo:hi])
+        assert res.flops > 0
+        assert res.residual >= 0
+
+
+def test_local_integrate_updates_foreign_entries():
+    p = SparseLinearProblem(SparseLinearConfig(n=90))
+    local = p.make_local(0, 3)
+    part = BlockPartition(p.n, 3)
+    lo, hi = part.bounds(1)
+    values = np.full(hi - lo, 3.14)
+    local.integrate(1, (1, values))
+    assert np.allclose(local.x[lo:hi], 3.14)
+
+
+def test_local_integrate_rejects_bad_length():
+    p = SparseLinearProblem(SparseLinearConfig(n=90))
+    local = p.make_local(0, 3)
+    with pytest.raises(ValueError):
+        local.integrate(1, (1, np.zeros(3)))
+
+
+def test_local_outgoing_payload_sizes():
+    p = SparseLinearProblem(SparseLinearConfig(n=120))
+    local = p.make_local(0, 4)
+    res = local.iterate()
+    for dst, (payload, nbytes) in res.outgoing.items():
+        block_id, values = payload
+        assert block_id == 0
+        assert nbytes == 8.0 * len(values)
+        assert dst in local.receivers()
+
+
+def test_emulated_synchronous_exchange_converges():
+    """Driving the local solvers in lockstep (fresh data each round)
+    reproduces the sequential solution."""
+    p = SparseLinearProblem(SparseLinearConfig(n=150, dominance=0.6, eps=1e-10))
+    size = 3
+    locals_ = [p.make_local(r, size) for r in range(size)]
+    for _ in range(400):
+        results = [s.iterate() for s in locals_]
+        for solver, res in zip(locals_, results):
+            for dst, (payload, _) in res.outgoing.items():
+                locals_[dst].integrate(solver.rank, payload)
+        if max(r.residual for r in results) < 1e-10:
+            break
+    solution = np.concatenate([s.local_solution() for s in locals_])
+    assert p.solution_error(solution) < 1e-7
+
+
+def test_rank_out_of_range_rejected():
+    p = SparseLinearProblem(SparseLinearConfig(n=60))
+    with pytest.raises(ValueError):
+        p.make_local(4, 4)
+    with pytest.raises(ValueError):
+        p.make_local(-1, 4)

@@ -1,0 +1,190 @@
+"""Tests for the sparse matrix layouts (DIA and CSR cross-checks)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.sparse import CSRMatrix, DiagonalMatrix, MultiDiagonalMatrix
+
+
+# ----------------------------------------------------------------------
+# DiagonalMatrix
+# ----------------------------------------------------------------------
+def test_diagonal_matvec_solve_roundtrip():
+    d = DiagonalMatrix(np.array([2.0, 4.0, -1.0]))
+    x = np.array([1.0, 2.0, 3.0])
+    assert np.allclose(d.solve(d.matvec(x)), x)
+
+
+def test_diagonal_singular_solve_raises():
+    with pytest.raises(ZeroDivisionError):
+        DiagonalMatrix(np.array([1.0, 0.0])).solve(np.ones(2))
+
+
+# ----------------------------------------------------------------------
+# MultiDiagonalMatrix
+# ----------------------------------------------------------------------
+def _random_multidiag(n=20, offsets=(-7, -2, 0, 3, 11), seed=0):
+    rng = np.random.default_rng(seed)
+    m = MultiDiagonalMatrix(n, offsets)
+    for off in offsets:
+        lo = max(0, -off)
+        hi = min(n, n - off)
+        m.set_diagonal(off, rng.standard_normal(hi - lo))
+    return m
+
+
+def test_multidiag_matvec_matches_dense():
+    m = _random_multidiag()
+    x = np.random.default_rng(1).standard_normal(m.n)
+    assert np.allclose(m.matvec(x), m.to_dense() @ x)
+
+
+def test_multidiag_row_block_matches_full():
+    m = _random_multidiag()
+    x = np.random.default_rng(2).standard_normal(m.n)
+    full = m.matvec(x)
+    for lo, hi in [(0, 5), (5, 13), (13, 20), (0, 20)]:
+        assert np.allclose(m.row_block_matvec(lo, hi, x), full[lo:hi])
+
+
+def test_multidiag_nnz_counts_valid_entries():
+    m = MultiDiagonalMatrix(5, (0, 2, -1))
+    assert m.nnz == 5 + 3 + 4
+
+
+def test_multidiag_diagonal_accessors():
+    m = _random_multidiag()
+    assert np.array_equal(m.diagonal(), m.diagonal_values(0))
+    with pytest.raises(KeyError):
+        m.diagonal_values(99)
+
+
+def test_multidiag_no_main_diagonal_returns_zeros():
+    m = MultiDiagonalMatrix(4, (1, -1))
+    assert np.array_equal(m.diagonal(), np.zeros(4))
+
+
+def test_multidiag_offdiagonal_row_sums():
+    m = MultiDiagonalMatrix(4, (0, 1))
+    m.set_diagonal(0, 5.0)
+    m.set_diagonal(1, -2.0)
+    sums = m.offdiagonal_row_sums()
+    assert np.allclose(sums, [2.0, 2.0, 2.0, 0.0])
+
+
+def test_multidiag_spectral_bound_diagonally_dominant():
+    m = MultiDiagonalMatrix(6, (0, 1, -1))
+    m.set_diagonal(0, 4.0)
+    m.set_diagonal(1, 1.0)
+    m.set_diagonal(-1, 1.0)
+    assert m.jacobi_spectral_bound() == pytest.approx(0.5)
+
+
+def test_multidiag_spectral_bound_zero_diagonal_is_inf():
+    m = MultiDiagonalMatrix(3, (0, 1))
+    m.set_diagonal(1, 1.0)
+    assert m.jacobi_spectral_bound() == float("inf")
+
+
+def test_multidiag_validation():
+    with pytest.raises(ValueError):
+        MultiDiagonalMatrix(0, (0,))
+    with pytest.raises(ValueError):
+        MultiDiagonalMatrix(3, (0, 0))
+    with pytest.raises(ValueError):
+        MultiDiagonalMatrix(3, (5,))
+    m = MultiDiagonalMatrix(3, (0,))
+    with pytest.raises(ValueError):
+        m.matvec(np.zeros(4))
+    with pytest.raises(ValueError):
+        m.row_block_matvec(2, 1, np.zeros(3))
+
+
+def test_multidiag_column_dependencies_ranges():
+    m = MultiDiagonalMatrix(10, (0, 3))
+    deps = m.column_dependencies(0, 5)
+    assert (0, 5) in deps           # main diagonal reads own columns
+    assert (3, 8) in deps           # offset +3 reads shifted columns
+
+
+@given(
+    n=st.integers(2, 30),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_multidiag_matvec_dense_property(n, seed):
+    rng = np.random.default_rng(seed)
+    k = int(rng.integers(1, min(n, 6)))
+    offsets = rng.choice(np.arange(-(n - 1), n), size=k, replace=False)
+    m = MultiDiagonalMatrix(n, [int(o) for o in offsets])
+    for off in offsets:
+        off = int(off)
+        lo, hi = max(0, -off), min(n, n - off)
+        m.set_diagonal(off, rng.standard_normal(hi - lo))
+    x = rng.standard_normal(n)
+    assert np.allclose(m.matvec(x), m.to_dense() @ x, atol=1e-10)
+
+
+# ----------------------------------------------------------------------
+# CSRMatrix
+# ----------------------------------------------------------------------
+def test_csr_from_dense_roundtrip():
+    rng = np.random.default_rng(3)
+    dense = rng.standard_normal((6, 8))
+    dense[np.abs(dense) < 0.7] = 0.0
+    csr = CSRMatrix.from_dense(dense)
+    assert np.allclose(csr.to_dense(), dense)
+
+
+def test_csr_matvec_matches_dense():
+    rng = np.random.default_rng(4)
+    dense = rng.standard_normal((7, 7))
+    dense[np.abs(dense) < 0.5] = 0.0
+    csr = CSRMatrix.from_dense(dense)
+    x = rng.standard_normal(7)
+    assert np.allclose(csr.matvec(x), dense @ x)
+
+
+def test_csr_from_coo_sums_duplicates():
+    csr = CSRMatrix.from_coo(2, 2, [0, 0, 1], [1, 1, 0], [1.0, 2.0, 5.0])
+    dense = csr.to_dense()
+    assert dense[0, 1] == pytest.approx(3.0)
+    assert dense[1, 0] == pytest.approx(5.0)
+
+
+def test_csr_row_block_extraction():
+    rng = np.random.default_rng(5)
+    dense = rng.standard_normal((8, 5))
+    dense[np.abs(dense) < 0.6] = 0.0
+    csr = CSRMatrix.from_dense(dense)
+    block = csr.row_block(2, 6)
+    assert np.allclose(block.to_dense(), dense[2:6])
+
+
+def test_csr_handles_empty_rows():
+    dense = np.zeros((4, 4))
+    dense[1, 2] = 3.0
+    csr = CSRMatrix.from_dense(dense)
+    assert np.allclose(csr.matvec(np.ones(4)), [0.0, 3.0, 0.0, 0.0])
+
+
+def test_csr_validation():
+    with pytest.raises(ValueError):
+        CSRMatrix(2, 2, np.ones(1), np.array([5]), np.array([0, 1, 1]))
+    with pytest.raises(ValueError):
+        CSRMatrix(2, 2, np.ones(1), np.array([0]), np.array([0, 1]))
+    csr = CSRMatrix.from_dense(np.eye(3))
+    with pytest.raises(ValueError):
+        csr.matvec(np.zeros(5))
+    with pytest.raises(ValueError):
+        csr.row_block(2, 1)
+
+
+def test_csr_cross_checks_multidiag():
+    """Two independent sparse implementations must agree."""
+    m = _random_multidiag(n=25, offsets=(-9, -1, 0, 4, 17), seed=9)
+    csr = CSRMatrix.from_dense(m.to_dense())
+    x = np.random.default_rng(10).standard_normal(25)
+    assert np.allclose(m.matvec(x), csr.matvec(x))
