@@ -8,46 +8,45 @@
   reception threads recovers most of its deficit on the all-to-all
   problem, confirming the paper's diagnosis that thread management
   drives the differences.
+
+Every ablation is expressed declaratively: one base
+:class:`repro.api.Scenario`, varied through ``derive`` and
+``policy_overrides``; only the load-balancing ablation needs the
+backend's ``make_solver`` escape hatch for its custom partition.
 """
 
 import numpy as np
 import pytest
 
+from repro.api import Scenario, SimulatedBackend
 from repro.core.aiac import AIACOptions
-from repro.core.run import simulate
-from repro.clusters import ethernet_wan
-from repro.envs import get_environment
 from repro.problems.sparse_linear import SparseLinearConfig, SparseLinearProblem
 
-PROBLEM = SparseLinearProblem(
-    SparseLinearConfig(n=1200, dominance=0.9, eps=1e-6, sign_structure="negative")
-)
+PROBLEM_PARAMS = dict(n=1200, dominance=0.9, eps=1e-6, sign_structure="negative")
+PROBLEM = SparseLinearProblem(SparseLinearConfig(**PROBLEM_PARAMS))
 N_RANKS = 6
 OPTS = AIACOptions(eps=1e-6, stability_count=10, max_iterations=20_000)
 
+BACKEND = SimulatedBackend()
 
-def _net():
-    return ethernet_wan(
-        n_hosts=N_RANKS, n_sites=3, speed_scale=0.003, wan_latency=0.018
-    )
-
-
-def _run(policy, opts=OPTS):
-    return simulate(
-        PROBLEM.make_local, N_RANKS, _net(), policy, worker="aiac", opts=opts
-    )
+BASE = Scenario(
+    problem="sparse_linear",
+    problem_params=PROBLEM_PARAMS,
+    environment="pm2",
+    cluster="ethernet_wan",
+    cluster_params=dict(n_sites=3, speed_scale=0.003, wan_latency=0.018),
+    algorithm="aiac",
+    n_ranks=N_RANKS,
+    options=OPTS,
+)
 
 
 def test_ablation_skip_send_rule(benchmark):
     """Without the skip-send rule every iteration posts a message; the
     rule suppresses most of them at no accuracy cost."""
-    env = get_environment("pm2")
-    policy = env.comm_policy("sparse_linear", N_RANKS)
-
-    def run_both():
-        return _run(policy)
-
-    result = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: BACKEND.run(BASE), rounds=1, iterations=1
+    )
     skipped = sum(r.skipped_sends for r in result.reports.values())
     sent = sum(r.sends for r in result.reports.values())
     assert result.converged
@@ -62,11 +61,13 @@ def test_ablation_skip_send_rule(benchmark):
 @pytest.mark.parametrize("stability_count", [2, 10, 30])
 def test_ablation_stability_count(benchmark, stability_count):
     """The oscillation guard trades detection latency for robustness."""
-    env = get_environment("pm2")
-    policy = env.comm_policy("sparse_linear", N_RANKS)
-    opts = AIACOptions(eps=1e-6, stability_count=stability_count, max_iterations=20_000)
+    scenario = BASE.derive(
+        options=AIACOptions(
+            eps=1e-6, stability_count=stability_count, max_iterations=20_000
+        )
+    )
     result = benchmark.pedantic(
-        lambda: _run(policy, opts), rounds=1, iterations=1
+        lambda: BACKEND.run(scenario), rounds=1, iterations=1
     )
     error = PROBLEM.solution_error(result.solution())
     benchmark.extra_info["stability_count"] = stability_count
@@ -82,35 +83,37 @@ def test_ablation_thread_policy_swap(benchmark):
     """Give MPI/Mad reception-threads-on-demand (OmniORB style): its
     receive-path serialisation disappears and it speeds up -- the
     thread-management effect the paper blames for Table 2's spread."""
-    mpimad = get_environment("mpimad")
-    stock_policy = mpimad.comm_policy("sparse_linear", N_RANKS)
-    swapped_policy = stock_policy.with_overrides(n_recv_threads=None)
+    stock = BASE.derive(environment="mpimad")
+    swapped = stock.derive(policy_overrides={"n_recv_threads": None})
 
     def run_pair():
-        return (_run(stock_policy), _run(swapped_policy))
+        return (BACKEND.run(stock), BACKEND.run(swapped))
 
-    stock, swapped = benchmark.pedantic(run_pair, rounds=1, iterations=1)
-    assert stock.converged and swapped.converged
-    benchmark.extra_info["stock_makespan"] = round(stock.makespan, 3)
-    benchmark.extra_info["on_demand_recv_makespan"] = round(swapped.makespan, 3)
-    assert swapped.makespan <= stock.makespan * 1.02
+    stock_result, swapped_result = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    assert stock_result.converged and swapped_result.converged
+    benchmark.extra_info["stock_makespan"] = round(stock_result.makespan, 3)
+    benchmark.extra_info["on_demand_recv_makespan"] = round(
+        swapped_result.makespan, 3
+    )
+    assert swapped_result.makespan <= stock_result.makespan * 1.02
 
 
 def test_ablation_unfair_scheduler(benchmark):
     """Section 6: a fair thread scheduler is on the required-features
     list.  An unfair (LIFO) scheduler must never be *faster*."""
-    env = get_environment("mpimad")
-    fair_policy = env.comm_policy("sparse_linear", N_RANKS)
-    unfair_policy = fair_policy.with_overrides(fair=False)
+    fair = BASE.derive(environment="mpimad")
+    unfair = fair.derive(policy_overrides={"fair": False})
 
     def run_pair():
-        return (_run(fair_policy), _run(unfair_policy))
+        return (BACKEND.run(fair), BACKEND.run(unfair))
 
-    fair, unfair = benchmark.pedantic(run_pair, rounds=1, iterations=1)
-    assert fair.converged
-    benchmark.extra_info["fair_makespan"] = round(fair.makespan, 3)
-    benchmark.extra_info["unfair_makespan"] = round(unfair.makespan, 3)
-    assert unfair.makespan >= fair.makespan * 0.98
+    fair_result, unfair_result = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert fair_result.converged
+    benchmark.extra_info["fair_makespan"] = round(fair_result.makespan, 3)
+    benchmark.extra_info["unfair_makespan"] = round(unfair_result.makespan, 3)
+    assert unfair_result.makespan >= fair_result.makespan * 0.98
 
 
 def test_ablation_load_balancing(benchmark):
@@ -120,19 +123,13 @@ def test_ablation_load_balancing(benchmark):
     slowest machine every iteration."""
     from repro.problems.sparse_linear import balanced_local_factory
 
-    env = get_environment("sync_mpi")
-    policy = env.comm_policy("sparse_linear", N_RANKS)
+    scenario = BASE.derive(environment="sync_mpi", algorithm="sisc")
 
     def run_pair():
-        net_u = _net()
-        uniform = simulate(
-            PROBLEM.make_local, N_RANKS, net_u, policy, worker="sisc", opts=OPTS
-        )
-        net_b = _net()
-        factory = balanced_local_factory(PROBLEM, [h.speed for h in net_b.hosts])
-        balanced = simulate(
-            factory, N_RANKS, net_b, policy, worker="sisc", opts=OPTS
-        )
+        uniform = BACKEND.run(scenario)
+        speeds = [h.speed for h in scenario.build_network().hosts]
+        factory = balanced_local_factory(PROBLEM, speeds)
+        balanced = BACKEND.run(scenario, make_solver=factory)
         return uniform, balanced
 
     uniform, balanced = benchmark.pedantic(run_pair, rounds=1, iterations=1)

@@ -3,17 +3,17 @@
 
 Solves the two-species advection-diffusion system (stratospheric ozone
 photochemistry) with implicit Euler + multisplitting Newton + GMRES:
-first sequentially, then in parallel with the AIAC stepped workers on
-a simulated grid, comparing the two solutions.
+first sequentially, then in parallel via a declarative
+:class:`repro.api.Scenario` with the AIAC stepped workers on a
+simulated grid, comparing the two solutions.
 
 Run:  python examples/chemical_kinetics.py
 """
 
 import numpy as np
 
-from repro import AIACOptions, simulate
-from repro.clusters import ethernet_wan
-from repro.envs import get_environment
+from repro.api import Scenario, get_environment, run_scenario
+from repro.core.aiac import AIACOptions
 from repro.problems import make_chemical_problem
 
 
@@ -32,27 +32,27 @@ def main() -> None:
     print(f"final: c1 max {reference[0].max():.3e} (photochemical quenching), "
           f"c2 max {reference[1].max():.3e}\n")
 
-    n_ranks = 6
-    env = get_environment("mpimad")
-    network = ethernet_wan(
-        n_hosts=n_ranks, n_sites=3, speed_scale=0.5, wan_latency=0.018
+    # The parallel run as a value: algorithm="auto" resolves to the
+    # stepped AIAC worker because the chemical problem is time-stepped.
+    scenario = Scenario(
+        problem="chemical",
+        problem_params=dict(nx=16, nz=24, t_end=540.0),
+        environment="mpimad",
+        cluster="ethernet_wan",
+        cluster_params=dict(n_sites=3, speed_scale=0.5, wan_latency=0.018),
+        n_ranks=6,
+        options=AIACOptions(eps=cfg.inner_eps, stability_count=2,
+                            max_iterations=cfg.max_inner_iterations),
     )
-    result = simulate(
-        problem.make_local,
-        n_ranks,
-        network,
-        env.comm_policy("chemical", n_ranks),
-        worker="aiac_stepped",
-        opts=AIACOptions(eps=cfg.inner_eps, stability_count=2,
-                         max_iterations=cfg.max_inner_iterations),
-    )
+    result = run_scenario(scenario)
     parallel = np.concatenate(
         [result.reports[r].solution.reshape(2, -1, cfg.nx)
          for r in sorted(result.reports)],
         axis=1,
     )
     rel = np.max(np.abs(parallel - reference) / (np.abs(reference) + 1.0))
-    print(f"AIAC on {env.display_name}: simulated time {result.makespan:.2f} s, "
+    display = get_environment(scenario.environment).display_name
+    print(f"AIAC on {display}: simulated time {result.makespan:.2f} s, "
           f"converged {result.converged}")
     print(f"per-step inner iterations (rank 0): "
           f"{result.reports[0].meta['per_step_iterations']}")

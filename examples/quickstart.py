@@ -2,16 +2,16 @@
 """Quickstart: solve a sparse linear system with AIAC vs SISC.
 
 Builds the paper's first test problem (a multi-diagonal, diagonally
-dominant system, Section 4.1), simulates the classical synchronous MPI
+dominant system, Section 4.1) as one declarative
+:class:`repro.api.Scenario`, then runs the classical synchronous MPI
 version and the asynchronous PM2 version on a small grid of three
-distant sites, and compares times, iteration counts and accuracy.
+distant sites, comparing times, iteration counts and accuracy.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import AIACOptions, simulate
-from repro.clusters import ethernet_wan
-from repro.envs import get_environment
+from repro.api import Scenario, get_environment, run_scenario
+from repro.core.aiac import AIACOptions
 from repro.problems import make_sparse_linear_problem
 
 
@@ -24,27 +24,26 @@ def main() -> None:
     sequential = problem.solve_sequential()
     print(f"sequential gradient descent: {sequential.iterations} iterations\n")
 
-    # 2. A grid: 6 heterogeneous machines on 3 sites, 10 Mb inter-site
-    #    links (the paper's first test cluster, scaled).
-    n_ranks = 6
-    opts = AIACOptions(eps=1e-6, stability_count=10, max_iterations=20_000)
+    # 2. One scenario value: the same problem and grid (6 heterogeneous
+    #    machines on 3 sites, 10 Mb inter-site links -- the paper's
+    #    first test cluster, scaled); only the environment varies.
+    #    algorithm="auto" follows the paper: sync MPI runs SISC, the
+    #    multi-threaded environments run AIAC.
+    base = Scenario(
+        problem="sparse_linear",
+        problem_params=dict(n=1200, dominance=0.9, eps=1e-6),
+        cluster="ethernet_wan",
+        cluster_params=dict(n_sites=3, speed_scale=0.003, wan_latency=0.018),
+        n_ranks=6,
+        options=AIACOptions(eps=1e-6, stability_count=10, max_iterations=20_000),
+    )
 
-    for env_name, worker in [("sync_mpi", "sisc"), ("pm2", "aiac")]:
-        env = get_environment(env_name)
-        network = ethernet_wan(
-            n_hosts=n_ranks, n_sites=3, speed_scale=0.003, wan_latency=0.018
-        )
-        result = simulate(
-            problem.make_local,
-            n_ranks,
-            network,
-            env.comm_policy("sparse_linear", n_ranks),
-            worker=worker,
-            opts=opts,
-        )
+    for env_name in ["sync_mpi", "pm2"]:
+        result = run_scenario(base.derive(environment=env_name))
         error = problem.solution_error(result.solution())
+        display = get_environment(env_name).display_name
         print(
-            f"{env.display_name:<14s} simulated time {result.makespan:8.2f} s | "
+            f"{display:<14s} simulated time {result.makespan:8.2f} s | "
             f"max iterations {result.max_iterations:5d} | "
             f"converged {result.converged} | error {error:.2e}"
         )

@@ -1,57 +1,54 @@
 #!/usr/bin/env python
-"""Run the *same* AIAC algorithm on real Python threads.
+"""Run the *same* scenario value on real Python threads.
 
 Everything else in this repository simulates time; this example shows
-the worker coroutines are a genuine working implementation: the same
-code executes on a thread per rank with real asynchronous channels,
-real receipts-at-any-time and the real convergence-detection protocol.
+the worker coroutines are a genuine working implementation: one
+:class:`repro.api.Scenario` executes unchanged on
+:class:`repro.api.ThreadedBackend` -- a thread per rank with real
+asynchronous channels, real receipts-at-any-time and the real
+convergence-detection protocol -- and yields the same unified
+:class:`repro.api.RunResult` as the simulator.
 
 Run:  python examples/threads_backend.py
 """
 
-import numpy as np
-
-from repro.core.aiac import AIACOptions, aiac_worker
-from repro.core.sisc import sisc_worker
+from repro.api import Scenario, ThreadedBackend
+from repro.core.aiac import AIACOptions
 from repro.problems import make_sparse_linear_problem
-from repro.runtime import run_threaded
 
 
 def main() -> None:
-    problem = make_sparse_linear_problem(
-        n=200, eps=1e-8, sign_structure="random"
+    problem = make_sparse_linear_problem(n=200, eps=1e-8, sign_structure="random")
+    backend = ThreadedBackend()
+    base = Scenario(
+        problem="sparse_linear",
+        problem_params=dict(n=200, eps=1e-8, sign_structure="random"),
+        n_ranks=3,
     )
-    n_ranks = 3
 
     # Synchronous run: same iterations as the sequential algorithm.
-    opts = AIACOptions(eps=1e-8, stability_count=3, max_iterations=20_000)
-    sisc = run_threaded(
-        lambda r, s: sisc_worker(r, s, problem.make_local(r, s), opts), n_ranks
-    )
-    solution = np.concatenate(
-        [sisc.results[r].solution for r in sorted(sisc.results)]
-    )
-    print(f"SISC on threads: wall {sisc.elapsed:.3f} s, "
-          f"iterations {sisc.results[0].iterations}, "
-          f"error {problem.solution_error(solution):.2e}")
+    sisc = backend.run(base.derive(
+        algorithm="sisc",
+        options=AIACOptions(eps=1e-8, stability_count=3, max_iterations=20_000),
+    ))
+    print(f"SISC on threads: wall {sisc.makespan:.3f} s, "
+          f"iterations {sisc.reports[0].iterations}, "
+          f"converged {sisc.converged}, "
+          f"error {problem.solution_error(sisc.solution()):.2e}")
 
     # Asynchronous run: each thread iterates at its own pace; the
     # freshness window keeps convergence detection honest against OS
     # scheduling bursts.
-    opts = AIACOptions(
-        eps=1e-8, stability_count=40, max_iterations=40_000, freshness_window=40
-    )
-    aiac = run_threaded(
-        lambda r, s: aiac_worker(r, s, problem.make_local(r, s), opts), n_ranks
-    )
-    solution = np.concatenate(
-        [aiac.results[r].solution for r in sorted(aiac.results)]
-    )
-    iters = [aiac.results[r].iterations for r in sorted(aiac.results)]
-    print(f"AIAC on threads: wall {aiac.elapsed:.3f} s, "
+    aiac = backend.run(base.derive(
+        algorithm="aiac",
+        options=AIACOptions(eps=1e-8, stability_count=40,
+                            max_iterations=40_000, freshness_window=40),
+    ))
+    iters = [aiac.reports[r].iterations for r in sorted(aiac.reports)]
+    print(f"AIAC on threads: wall {aiac.makespan:.3f} s, "
           f"per-rank iterations {iters}, "
-          f"error {problem.solution_error(solution):.2e}")
-    print(f"messages exchanged: {aiac.messages_sent}")
+          f"error {problem.solution_error(aiac.solution()):.2e}")
+    print(f"messages exchanged: {aiac.stats()['messages_sent']}")
     print("\nNote: on one core the threads time-share, so wall times are "
           "not a performance comparison -- that is what the simulator is "
           "for.  This demonstrates protocol correctness on real threads.")

@@ -2,26 +2,27 @@
 "Performance comparison of parallel programming environments for
 implementing AIAC algorithms".
 
-Quickstart::
+Quickstart (declarative API -- one scenario value, any backend)::
 
-    from repro import simulate, AIACOptions
-    from repro.problems import make_sparse_linear_problem
-    from repro.envs import get_environment
-    from repro.clusters import ethernet_wan
+    from repro.api import Scenario, run_scenario
 
-    problem = make_sparse_linear_problem(n=1200)
-    env = get_environment("pm2")
-    net = ethernet_wan(n_hosts=8)
-    result = simulate(
-        problem.make_local, 8, net,
-        env.comm_policy("sparse_linear", 8),
-        worker="aiac",
-        opts=AIACOptions(eps=problem.config.eps),
+    scenario = Scenario(
+        problem="sparse_linear",
+        problem_params={"n": 1200, "eps": 1e-6},
+        environment="pm2",
+        cluster="ethernet_wan",
+        cluster_params={"n_sites": 3, "speed_scale": 0.003},
+        n_ranks=8,
     )
+    result = run_scenario(scenario)                      # simulated grid
+    result = run_scenario(scenario, backend="threaded")  # real threads
     print(result.makespan, result.converged)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-versus-measured record of every table and figure.
+The legacy positional entry points (:func:`simulate`,
+:func:`repro.runtime.run_threaded`) remain as thin shims over the same
+machinery.  See DESIGN.md at the repository root for the
+Scenario/Backend architecture and the module inventory, and ROADMAP.md
+for the open items.
 """
 
 from repro.core import (
@@ -34,8 +35,17 @@ from repro.core import (
     sisc_stepped_worker,
     sisc_worker,
 )
+from repro.api import (
+    Scenario,
+    SimulatedBackend,
+    ThreadedBackend,
+    get_backend,
+    run_scenario,
+    scenario_matrix,
+    sweep,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AIACOptions",
@@ -46,5 +56,12 @@ __all__ = [
     "sisc_worker",
     "sisc_stepped_worker",
     "simulate",
+    "Scenario",
+    "SimulatedBackend",
+    "ThreadedBackend",
+    "get_backend",
+    "run_scenario",
+    "scenario_matrix",
+    "sweep",
     "__version__",
 ]

@@ -1,0 +1,86 @@
+"""The declarative entry point: a run is a value, not a call.
+
+The paper's whole point is executing the *same* AIAC/SISC algorithms
+across different execution environments.  This package makes that
+comparison first-class:
+
+* :class:`Scenario` -- a frozen description of one run (problem,
+  environment, cluster preset, algorithm, options, seed), fully
+  expressible as a plain JSON dict via string registries;
+* :class:`SimulatedBackend` / :class:`ThreadedBackend` -- two
+  interpreters of the same scenario value (discrete-event simulation
+  versus real threads), both returning the unified :class:`RunResult`;
+* :func:`sweep` -- the grid runner fanning scenario lists over a
+  ``multiprocessing`` pool into JSON-serializable records.
+
+Quickstart::
+
+    from repro.api import Scenario, run_scenario, sweep, scenario_matrix
+
+    base = Scenario(problem="sparse_linear",
+                    problem_params={"n": 1200, "dominance": 0.9},
+                    cluster="ethernet_wan",
+                    cluster_params={"n_sites": 3, "speed_scale": 0.003},
+                    environment="pm2", n_ranks=6)
+    result = run_scenario(base)                      # simulated
+    result = run_scenario(base, backend="threaded")  # same value, real threads
+    records = sweep(scenario_matrix(base,
+                                    environment=["sync_mpi", "pm2"],
+                                    problem_params__n=[600, 1200]),
+                    processes=4)
+"""
+
+from repro.api.backends import (
+    Backend,
+    SimulatedBackend,
+    ThreadedBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+    run_scenario,
+)
+from repro.api.registry import (
+    get_cluster,
+    get_environment,
+    get_problem,
+    get_problem_factory,
+    get_worker,
+    list_clusters,
+    list_environments,
+    list_problems,
+    list_workers,
+    register_cluster,
+    register_problem,
+    register_worker,
+)
+from repro.api.result import RunResult, jsonify
+from repro.api.scenario import Scenario, scenario_matrix
+from repro.api.sweep import sweep, sweep_results
+
+__all__ = [
+    "Scenario",
+    "scenario_matrix",
+    "RunResult",
+    "jsonify",
+    "Backend",
+    "SimulatedBackend",
+    "ThreadedBackend",
+    "register_backend",
+    "get_backend",
+    "list_backends",
+    "run_scenario",
+    "sweep",
+    "sweep_results",
+    "register_worker",
+    "get_worker",
+    "list_workers",
+    "register_problem",
+    "get_problem",
+    "get_problem_factory",
+    "list_problems",
+    "register_cluster",
+    "get_cluster",
+    "list_clusters",
+    "get_environment",
+    "list_environments",
+]

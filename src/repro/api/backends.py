@@ -1,0 +1,176 @@
+"""Execution backends: one :class:`Scenario`, two ways to run it.
+
+* :class:`SimulatedBackend` binds the scenario to the discrete-event
+  simulator (:mod:`repro.simgrid`) through the legacy
+  :func:`repro.core.run.simulate` entry point, so the shim and the
+  backend stay makespan-identical by construction;
+* :class:`ThreadedBackend` interprets the same worker coroutines on
+  real Python threads (:mod:`repro.runtime`), validating protocol
+  correctness outside the simulation.
+
+Both return the unified :class:`repro.api.result.RunResult`.  Backends
+are plain picklable dataclasses, addressable by name through
+``get_backend`` so sweeps can ship them across process pools.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, ClassVar, List, Optional, Protocol, runtime_checkable
+
+from repro.api.result import RunResult
+from repro.api.scenario import Scenario
+from repro.core.run import get_worker, simulate
+from repro.registry import Registry
+from repro.runtime.executor import run_threaded
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Anything that can execute a scenario into a unified result."""
+
+    name: str
+
+    def run(self, scenario: Scenario) -> RunResult:
+        ...
+
+
+BACKEND_REGISTRY = Registry("backend")
+
+
+def register_backend(name=None, **kwargs) -> Callable:
+    """Register a backend class under a short name."""
+    return BACKEND_REGISTRY.register(name, **kwargs)
+
+
+def get_backend(name: str, **kwargs: Any) -> Backend:
+    """Instantiate a backend by name (``"simulated"`` or ``"threaded"``)."""
+    return BACKEND_REGISTRY.get(name)(**kwargs)
+
+
+def list_backends() -> List[str]:
+    """Sorted names of all registered backends."""
+    return BACKEND_REGISTRY.names()
+
+
+@register_backend("simulated")
+@dataclass
+class SimulatedBackend:
+    """Run scenarios on the discrete-event simulator.
+
+    ``trace``/``max_events`` are forwarded to the simulator world;
+    ``makespan`` of the produced result is in *simulated* seconds.
+    """
+
+    name: ClassVar[str] = "simulated"
+
+    trace: bool = True
+    max_events: Optional[int] = None
+
+    def run(
+        self,
+        scenario: Scenario,
+        make_solver: Optional[Callable] = None,
+    ) -> RunResult:
+        """Execute ``scenario``; ``make_solver`` optionally overrides the
+        problem's ``(rank, size) -> LocalSolver`` factory (escape hatch
+        for programmatic ablations such as load-balanced partitions)."""
+        problem = scenario.build_problem()
+        environment = scenario.build_environment()
+        network = scenario.build_network()
+        worker = scenario.resolve_worker(problem)
+        opts = scenario.resolved_options(problem)
+        policy = environment.comm_policy(scenario.kind, scenario.n_ranks)
+        if scenario.policy_overrides:
+            policy = policy.with_overrides(**scenario.policy_overrides)
+        started = time.perf_counter()
+        outcome = simulate(
+            make_solver or problem.make_local,
+            scenario.n_ranks,
+            network,
+            policy,
+            worker=worker,
+            opts=opts,
+            trace=self.trace,
+            max_events=self.max_events,
+        )
+        return RunResult(
+            makespan=outcome.makespan,
+            reports=dict(outcome.reports),
+            backend=self.name,
+            elapsed=time.perf_counter() - started,
+            scenario=scenario,
+            backend_stats=outcome.world.stats(),
+            world=outcome.world,
+        )
+
+
+@register_backend("threaded")
+@dataclass
+class ThreadedBackend:
+    """Run scenarios on one real Python thread per rank.
+
+    The cluster topology and communication policy do not apply (wall
+    time is real and channels are in-process); the environment still
+    chooses the default algorithm, so the same scenario value runs
+    unchanged.  ``makespan`` of the produced result is wall-clock
+    seconds.
+    """
+
+    name: ClassVar[str] = "threaded"
+
+    timeout: float = 120.0
+
+    def run(
+        self,
+        scenario: Scenario,
+        make_solver: Optional[Callable] = None,
+    ) -> RunResult:
+        problem = scenario.build_problem()
+        worker = get_worker(scenario.resolve_worker(problem))
+        opts = scenario.resolved_options(problem)
+        factory = make_solver or problem.make_local
+        outcome = run_threaded(
+            lambda rank, size: worker(rank, size, factory(rank, size), opts),
+            scenario.n_ranks,
+            timeout=self.timeout,
+        )
+        return RunResult(
+            makespan=outcome.elapsed,
+            reports=dict(outcome.results),
+            backend=self.name,
+            elapsed=outcome.elapsed,
+            scenario=scenario,
+            backend_stats={"messages_sent": outcome.messages_sent},
+        )
+
+
+def run_scenario(
+    scenario: Scenario,
+    backend: Any = None,
+    **backend_kwargs: Any,
+) -> RunResult:
+    """One-call convenience: run a scenario on a backend (by name or value)."""
+    if backend is None:
+        backend = SimulatedBackend(**backend_kwargs)
+    elif isinstance(backend, str):
+        backend = get_backend(backend, **backend_kwargs)
+    elif backend_kwargs:
+        raise TypeError(
+            "backend_kwargs only apply when the backend is given by name; "
+            f"got an instance plus {sorted(backend_kwargs)}"
+        )
+    return backend.run(scenario)
+
+
+__all__ = [
+    "Backend",
+    "BACKEND_REGISTRY",
+    "register_backend",
+    "get_backend",
+    "list_backends",
+    "SimulatedBackend",
+    "ThreadedBackend",
+    "run_scenario",
+]

@@ -1,0 +1,166 @@
+"""The unified result type shared by every backend.
+
+Whether a scenario ran on the discrete-event simulator or on real
+threads, callers get the same object: ``makespan`` (simulated seconds
+or wall seconds), the per-rank :class:`~repro.core.aiac.WorkerReport`
+mapping, convergence/iteration aggregates, the assembled global
+``solution()`` and a JSON-serializable ``to_record()`` /
+``from_record()`` round-trip -- the currency of :func:`repro.api.sweep`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.api.scenario import Scenario
+from repro.core.aiac import WorkerReport
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively convert numpy containers/scalars to JSON-safe types."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, Mapping):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    return value
+
+
+@dataclass
+class RunResult:
+    """Outcome of one scenario execution, identical across backends.
+
+    ``makespan`` is the backend's primary time axis: simulated seconds
+    on :class:`~repro.api.backends.SimulatedBackend`, wall-clock seconds
+    on :class:`~repro.api.backends.ThreadedBackend`.  ``elapsed`` is
+    always the wall-clock time the execution took.  ``world`` is the
+    simulator world when one exists (trace access); it is never
+    serialized.
+    """
+
+    makespan: float
+    reports: Dict[int, WorkerReport]
+    backend: str = "simulated"
+    elapsed: float = 0.0
+    scenario: Optional[Scenario] = None
+    backend_stats: Dict[str, Any] = field(default_factory=dict)
+    world: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    @property
+    def converged(self) -> bool:
+        return bool(self.reports) and all(
+            r.converged for r in self.reports.values()
+        )
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(r.iterations for r in self.reports.values())
+
+    @property
+    def max_iterations(self) -> int:
+        return max((r.iterations for r in self.reports.values()), default=0)
+
+    def solution(self) -> np.ndarray:
+        """Concatenate the per-rank local solutions in rank order."""
+        parts = [self.reports[r].solution for r in sorted(self.reports)]
+        if not parts or any(p is None or np.size(p) == 0 for p in parts):
+            raise ValueError(
+                "no per-rank solutions available (rebuilt from a record "
+                "written with include_solution=False?)"
+            )
+        return np.concatenate(parts)
+
+    def stats(self) -> dict:
+        return {
+            "backend": self.backend,
+            "makespan": self.makespan,
+            "elapsed": self.elapsed,
+            "converged": self.converged,
+            "iterations_per_rank": {
+                r: rep.iterations for r, rep in sorted(self.reports.items())
+            },
+            "skipped_sends": sum(r.skipped_sends for r in self.reports.values()),
+            **self.backend_stats,
+        }
+
+    # ------------------------------------------------------------------
+    # records
+    # ------------------------------------------------------------------
+    def to_record(self, include_solution: bool = False) -> Dict[str, Any]:
+        """A JSON-serializable flat record of this run.
+
+        ``include_solution`` additionally stores every rank's local
+        solution vector (arbitrarily large for big problems, hence
+        opt-in); without it, ``from_record`` rebuilds a result whose
+        ``solution()`` raises.
+        """
+        report_records = []
+        for rank in sorted(self.reports):
+            rep = self.reports[rank]
+            record = {
+                "rank": rep.rank,
+                "iterations": rep.iterations,
+                "converged": bool(rep.converged),
+                "stopped_by_coordinator": bool(rep.stopped_by_coordinator),
+                "elapsed": float(rep.elapsed),
+                "residual": float(rep.residual),
+                "sends": rep.sends,
+                "skipped_sends": rep.skipped_sends,
+                "state_messages": rep.state_messages,
+                "meta": jsonify(rep.meta),
+            }
+            if include_solution:
+                record["solution"] = np.asarray(rep.solution).tolist()
+            report_records.append(record)
+        return {
+            "backend": self.backend,
+            "makespan": float(self.makespan),
+            "elapsed": float(self.elapsed),
+            "converged": self.converged,
+            "total_iterations": self.total_iterations,
+            "max_iterations": self.max_iterations,
+            "scenario": None if self.scenario is None else self.scenario.to_dict(),
+            "backend_stats": jsonify(self.backend_stats),
+            "reports": report_records,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result (minus the live world) from a record."""
+        reports: Dict[int, WorkerReport] = {}
+        for rep in record.get("reports", []):
+            solution = np.asarray(rep.get("solution", []), dtype=float)
+            reports[rep["rank"]] = WorkerReport(
+                rank=rep["rank"],
+                iterations=rep["iterations"],
+                converged=rep["converged"],
+                stopped_by_coordinator=rep["stopped_by_coordinator"],
+                elapsed=rep["elapsed"],
+                residual=rep["residual"],
+                solution=solution,
+                sends=rep.get("sends", 0),
+                skipped_sends=rep.get("skipped_sends", 0),
+                state_messages=rep.get("state_messages", 0),
+                meta=dict(rep.get("meta", {})),
+            )
+        scenario = record.get("scenario")
+        return cls(
+            makespan=record["makespan"],
+            reports=reports,
+            backend=record.get("backend", "simulated"),
+            elapsed=record.get("elapsed", 0.0),
+            scenario=None if scenario is None else Scenario.from_dict(scenario),
+            backend_stats=dict(record.get("backend_stats", {})),
+        )
+
+
+__all__ = ["RunResult", "jsonify"]

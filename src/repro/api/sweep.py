@@ -1,0 +1,127 @@
+"""Grid runner: fan scenarios out over a process pool, collect records.
+
+``sweep`` is the building block for batching/sharding work on top of
+the declarative API: it takes any iterable of scenarios (values or
+plain dicts), executes them on one backend -- serially or across a
+``multiprocessing`` pool -- and returns one JSON-serializable record
+per scenario, in input order.  Failures are captured per scenario
+instead of aborting the whole grid.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.api.backends import Backend, SimulatedBackend, get_backend
+from repro.api.result import RunResult
+from repro.api.scenario import Scenario, scenario_matrix
+
+ScenarioLike = Union[Scenario, Mapping[str, Any]]
+
+
+def _as_scenario(spec: ScenarioLike) -> Scenario:
+    if isinstance(spec, Scenario):
+        return spec
+    return Scenario.from_dict(spec)
+
+
+def _run_job(job) -> Dict[str, Any]:
+    """Execute one (scenario dict, backend, flags) job into a record.
+
+    Module-level so it pickles under ``multiprocessing``; scenarios
+    travel as plain dicts, which also guarantees every sweep input is
+    serializable before any fork happens.
+    """
+    index, scenario_dict, backend, include_solution = job
+    record: Dict[str, Any] = {"index": index}
+    try:
+        scenario = Scenario.from_dict(scenario_dict)
+        result = backend.run(scenario)
+        record.update(result.to_record(include_solution=include_solution))
+    except Exception as exc:  # noqa: BLE001 - reported per record
+        record.update(
+            scenario=scenario_dict,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+        )
+    return record
+
+
+def sweep(
+    scenarios: Iterable[ScenarioLike],
+    backend: Union[Backend, str, None] = None,
+    processes: int = 1,
+    include_solution: bool = False,
+) -> List[Dict[str, Any]]:
+    """Run every scenario on ``backend`` and return records in order.
+
+    Parameters
+    ----------
+    scenarios:
+        :class:`Scenario` values or plain dicts (``Scenario.from_dict``
+        form) -- e.g. the output of :func:`scenario_matrix`.
+    backend:
+        A backend instance, a registered backend name, or ``None`` for
+        :class:`SimulatedBackend`.  Must be picklable when
+        ``processes > 1`` (the built-in backends are).
+    processes:
+        Pool size; ``1`` runs in-process (easier debugging, identical
+        records -- the simulated backend is deterministic either way).
+    include_solution:
+        Store per-rank solution vectors in each record.
+
+    Returns
+    -------
+    One dict per scenario with the fields of
+    :meth:`RunResult.to_record` plus ``index``; a failed scenario's
+    record carries ``error`` (and ``traceback``) instead.
+    """
+    if backend is None:
+        backend = SimulatedBackend()
+    elif isinstance(backend, str):
+        backend = get_backend(backend)
+    jobs = []
+    records: Dict[int, Dict[str, Any]] = {}
+    total = 0
+    for index, spec in enumerate(scenarios):
+        total = index + 1
+        try:
+            jobs.append((index, _as_scenario(spec).to_dict(), backend, include_solution))
+        except Exception as exc:  # noqa: BLE001 - malformed spec: captured per record
+            records[index] = {
+                "index": index,
+                "scenario": dict(spec) if isinstance(spec, Mapping) else repr(spec),
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            }
+    if processes <= 1 or len(jobs) <= 1:
+        ran = [_run_job(job) for job in jobs]
+    else:
+        with multiprocessing.Pool(processes=min(processes, len(jobs))) as pool:
+            ran = pool.map(_run_job, jobs)
+    for record in ran:
+        records[record["index"]] = record
+    return [records[index] for index in range(total)]
+
+
+def sweep_results(
+    scenarios: Iterable[ScenarioLike],
+    backend: Union[Backend, str, None] = None,
+    processes: int = 1,
+) -> List[Optional[RunResult]]:
+    """Like :func:`sweep`, but rebuild :class:`RunResult` values.
+
+    Convenience for callers that want objects rather than records;
+    failed scenarios come back as ``None``.  Solutions are included, so
+    prefer :func:`sweep` for very large grids.
+    """
+    records = sweep(scenarios, backend, processes=processes, include_solution=True)
+    return [
+        None if "error" in record else RunResult.from_record(record)
+        for record in records
+    ]
+
+
+__all__ = ["sweep", "sweep_results", "scenario_matrix"]

@@ -1,0 +1,132 @@
+"""Console entry point: run scenarios from JSON files.
+
+Installed as the ``repro`` command (see ``setup.py``); also runnable as
+``python -m repro.cli``.
+
+Usage::
+
+    repro list
+    repro run scenarios.json [--backend simulated|threaded]
+                             [--processes N] [--include-solution]
+                             [--output records.json]
+
+The scenario file holds either one scenario dict or a list of them, in
+:meth:`repro.api.Scenario.to_dict` form -- minimally just
+``{"problem": "sparse_linear"}``.  Records are printed (or written) as
+JSON, one sweep-style record per scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.api import sweep
+from repro.api.registry import (
+    list_backends,
+    list_clusters,
+    list_environments,
+    list_problems,
+    list_workers,
+)
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for title, names in [
+        ("problems", list_problems()),
+        ("environments", list_environments()),
+        ("clusters", list_clusters()),
+        ("workers", list_workers()),
+        ("backends", list_backends()),
+    ]:
+        print(f"{title}: {', '.join(names)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        with open(args.scenarios, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        print(f"error: cannot read {args.scenarios}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.scenarios} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if isinstance(data, dict):
+        data = [data]
+    if not isinstance(data, list) or not all(isinstance(s, dict) for s in data):
+        print("error: scenario file must hold a dict or a list of dicts",
+              file=sys.stderr)
+        return 2
+    try:
+        records = sweep(
+            data,
+            backend=args.backend,
+            processes=args.processes,
+            include_solution=args.include_solution,
+        )
+    except (KeyError, ValueError) as exc:
+        # Bad backend name or malformed scenario: the registry/scenario
+        # errors already name the offender and the known alternatives.
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    payload = json.dumps(records, indent=2, default=str)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {len(records)} record(s) to {args.output}")
+    else:
+        print(payload)
+    failures = [r for r in records if "error" in r]
+    for record in failures:
+        print(f"error in scenario {record['index']}: {record['error']}",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run AIAC/SISC scenarios (Bahi et al. reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="show every registered problem/environment/cluster/worker/backend"
+    )
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run the scenario(s) described in a JSON file"
+    )
+    run_parser.add_argument("scenarios", help="path to a scenario JSON file")
+    run_parser.add_argument(
+        "--backend", default="simulated",
+        help="backend name (default: simulated)",
+    )
+    run_parser.add_argument(
+        "--processes", type=int, default=1,
+        help="process-pool size for the sweep (default: 1)",
+    )
+    run_parser.add_argument(
+        "--include-solution", action="store_true",
+        help="store per-rank solution vectors in the records",
+    )
+    run_parser.add_argument(
+        "--output", default=None, help="write records to a file instead of stdout"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,12 +12,16 @@
 * :func:`uniform_cluster` -- a homogeneous test cluster.
 """
 
+from typing import Any, Callable, List
+
 from repro.clusters.machines import (
     DURON_800,
     MachineSpec,
     P4_1700,
     P4_2400,
     PAPER_MACHINE_MIX,
+    get_machine,
+    list_machines,
 )
 from repro.clusters.presets import (
     ethernet_adsl,
@@ -25,8 +29,55 @@ from repro.clusters.presets import (
     local_cluster,
     uniform_cluster,
 )
+from repro.registry import Registry
+
+CLUSTER_REGISTRY = Registry("cluster")
+
+
+def register_cluster(name=None, **kwargs) -> Callable:
+    """Register a cluster builder (``(**params) -> Network``) by name.
+
+    Mirrors :func:`repro.envs.register`; registered names are usable in
+    :class:`repro.api.Scenario` dicts.
+    """
+    return CLUSTER_REGISTRY.register(name, **kwargs)
+
+
+def get_cluster(name: str, **params: Any):
+    """Build a :class:`~repro.simgrid.network.Network` from a preset name.
+
+    Mirrors :func:`repro.envs.get_environment`, but cluster presets are
+    builders, so keyword parameters are forwarded to them.  A
+    ``machine_mix`` given as machine *names* (e.g. ``["duron_800",
+    "p4_2400"]``) is resolved through the machine catalogue so scenarios
+    stay describable as plain JSON dicts.
+    """
+    builder = CLUSTER_REGISTRY.get(name)
+    mix = params.get("machine_mix")
+    if mix is not None:
+        params["machine_mix"] = tuple(
+            get_machine(m) if isinstance(m, str) else m for m in mix
+        )
+    return builder(**params)
+
+
+def list_clusters() -> List[str]:
+    """Sorted names of all registered cluster presets."""
+    return CLUSTER_REGISTRY.names()
+
+
+register_cluster("ethernet_wan")(ethernet_wan)
+register_cluster("ethernet_adsl")(ethernet_adsl)
+register_cluster("local_cluster")(local_cluster)
+register_cluster("uniform_cluster")(uniform_cluster)
 
 __all__ = [
+    "CLUSTER_REGISTRY",
+    "register_cluster",
+    "get_cluster",
+    "list_clusters",
+    "get_machine",
+    "list_machines",
     "MachineSpec",
     "DURON_800",
     "P4_1700",

@@ -42,5 +42,37 @@ P4_2400 = MachineSpec(model="Pentium IV 2.4", clock_mhz=2400.0, speed=1.2e8)
 #: number of machines of each type ... types interleaved").
 PAPER_MACHINE_MIX: Tuple[MachineSpec, ...] = (DURON_800, P4_1700, P4_2400)
 
+#: Machines addressable by name, so cluster parameters in scenario
+#: dicts (e.g. ``machine_mix=["duron_800", "p4_2400"]``) stay JSON.
+MACHINES = {
+    "duron_800": DURON_800,
+    "p4_1700": P4_1700,
+    "p4_2400": P4_2400,
+}
 
-__all__ = ["MachineSpec", "DURON_800", "P4_1700", "P4_2400", "PAPER_MACHINE_MIX"]
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine model by its catalogue name."""
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; known: {sorted(MACHINES)}"
+        ) from None
+
+
+def list_machines():
+    """Sorted names of the machine catalogue."""
+    return sorted(MACHINES)
+
+
+__all__ = [
+    "MachineSpec",
+    "DURON_800",
+    "P4_1700",
+    "P4_2400",
+    "PAPER_MACHINE_MIX",
+    "MACHINES",
+    "get_machine",
+    "list_machines",
+]

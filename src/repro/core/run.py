@@ -16,16 +16,42 @@ import numpy as np
 from repro.core.aiac import AIACOptions, WorkerReport, aiac_worker, aiac_stepped_worker
 from repro.core.sisc import sisc_worker, sisc_stepped_worker
 from repro.problems.base import LocalSolver, SteppedLocalSolver
+from repro.registry import Registry
 from repro.simgrid.comm import CommPolicy
 from repro.simgrid.network import Network
 from repro.simgrid.world import World
 
-WORKERS: Dict[str, Callable] = {
-    "aiac": aiac_worker,
-    "sisc": sisc_worker,
-    "aiac_stepped": aiac_stepped_worker,
-    "sisc_stepped": sisc_stepped_worker,
-}
+#: Legacy view of the worker registry; ``WORKER_REGISTRY`` writes into
+#: this dict, so both stay one source of truth.
+WORKERS: Dict[str, Callable] = {}
+
+WORKER_REGISTRY = Registry("worker", store=WORKERS)
+
+
+def register_worker(name=None, **kwargs) -> Callable:
+    """Register a worker coroutine factory under a short name.
+
+    A worker is a ``(rank, size, solver, opts) -> generator`` callable
+    yielding :mod:`repro.simgrid.effects`; registered names are usable
+    in :class:`repro.api.Scenario` and :func:`simulate`.
+    """
+    return WORKER_REGISTRY.register(name, **kwargs)
+
+
+def get_worker(name: str) -> Callable:
+    """Look up a worker coroutine factory by its registered name."""
+    return WORKER_REGISTRY.get(name)
+
+
+def list_workers() -> List[str]:
+    """Sorted names of all registered workers."""
+    return WORKER_REGISTRY.names()
+
+
+register_worker("aiac")(aiac_worker)
+register_worker("sisc")(sisc_worker)
+register_worker("aiac_stepped")(aiac_stepped_worker)
+register_worker("sisc_stepped")(sisc_stepped_worker)
 
 
 @dataclass
@@ -76,6 +102,12 @@ def simulate(
 ) -> RunResult:
     """Simulate a parallel run of ``n_ranks`` workers.
 
+    .. deprecated::
+        ``simulate`` is the legacy positional front door, kept for
+        backwards compatibility.  New code should describe the run as a
+        :class:`repro.api.Scenario` and execute it through
+        :class:`repro.api.SimulatedBackend`, which wraps this function.
+
     Parameters
     ----------
     make_solver:
@@ -106,4 +138,12 @@ def simulate(
     return RunResult(makespan=makespan, reports=reports, world=world)
 
 
-__all__ = ["RunResult", "simulate", "WORKERS"]
+__all__ = [
+    "RunResult",
+    "simulate",
+    "WORKERS",
+    "WORKER_REGISTRY",
+    "register_worker",
+    "get_worker",
+    "list_workers",
+]

@@ -7,10 +7,12 @@ records paper-versus-measured values.
 """
 
 from repro.experiments.common import (
+    DEFAULT_BACKEND,
     EnvironmentRow,
     ExperimentCase,
     render_table,
     run_case,
+    run_scenario_case,
 )
 from repro.experiments.table1 import run_table1, format_table1
 from repro.experiments.table2 import Table2Config, run_table2, format_table2
@@ -21,13 +23,21 @@ from repro.experiments.figures12 import (
     run_execution_flows,
     format_flows,
 )
-from repro.experiments.figure3 import Figure3Config, run_figure3, format_figure3
+from repro.experiments.figure3 import (
+    Figure3Config,
+    figure3_scenarios,
+    run_figure3,
+    format_figure3,
+)
 
 __all__ = [
+    "DEFAULT_BACKEND",
     "EnvironmentRow",
     "ExperimentCase",
     "render_table",
     "run_case",
+    "run_scenario_case",
+    "figure3_scenarios",
     "run_table1",
     "format_table1",
     "Table2Config",

@@ -1,5 +1,6 @@
-"""Shared experiment plumbing: run one (problem, environment, cluster)
-case and collect the numbers the paper reports."""
+"""Shared experiment plumbing: describe one (problem, environment,
+cluster) case as a :class:`repro.api.Scenario`, run it on a backend and
+collect the numbers the paper reports."""
 
 from __future__ import annotations
 
@@ -8,10 +9,22 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api import Scenario, SimulatedBackend
+from repro.api.result import RunResult as ScenarioRunResult
 from repro.core.aiac import AIACOptions
 from repro.core.run import RunResult, simulate
 from repro.envs import Environment, get_environment
 from repro.simgrid.network import Network
+
+#: Default backend shared by the experiment harnesses.
+DEFAULT_BACKEND = SimulatedBackend()
+
+
+def run_scenario_case(
+    scenario: Scenario, backend: Optional[SimulatedBackend] = None
+) -> ScenarioRunResult:
+    """Run one scenario on the shared (or a caller-provided) backend."""
+    return (backend or DEFAULT_BACKEND).run(scenario)
 
 
 @dataclass
@@ -48,6 +61,11 @@ def run_case(
     max_events: Optional[int] = None,
 ) -> RunResult:
     """Run one environment on one cluster with the paper's conventions.
+
+    .. deprecated::
+        Legacy positional plumbing kept for backwards compatibility;
+        the experiment modules now build :class:`repro.api.Scenario`
+        values and run them through :func:`run_scenario_case`.
 
     The worker kind follows the environment: the mono-threaded MPI
     baseline runs the synchronous algorithm, the multi-threaded
@@ -104,6 +122,8 @@ def _fmt(cell: object) -> str:
 __all__ = [
     "ExperimentCase",
     "EnvironmentRow",
+    "DEFAULT_BACKEND",
+    "run_scenario_case",
     "run_case",
     "speed_ratios",
     "render_table",

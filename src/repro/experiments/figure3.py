@@ -24,10 +24,10 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.api import Scenario, sweep
 from repro.core.aiac import AIACOptions
-from repro.clusters import local_cluster
 from repro.envs import all_environments
-from repro.experiments.common import render_table, run_case
+from repro.experiments.common import DEFAULT_BACKEND, render_table
 from repro.problems.chemical import ChemicalConfig, ChemicalProblem
 
 
@@ -41,29 +41,48 @@ class Figure3Config:
     processor_counts: Tuple[int, ...] = (4, 8, 12, 20, 40)
     speed_scale: float = 0.1
     stability_count: int = 2
+    processes: int = 1         # worker processes for the scenario sweep
+
+
+def figure3_scenarios(config: Figure3Config = Figure3Config()) -> List[Scenario]:
+    """The full (environment x processor count) scenario grid."""
+    problem_config = ChemicalConfig(nx=config.nx, nz=config.nz, t_end=config.t_end)
+    opts = AIACOptions(
+        eps=problem_config.inner_eps,
+        stability_count=config.stability_count,
+        max_iterations=problem_config.max_inner_iterations,
+    )
+    return [
+        Scenario(
+            problem="chemical",
+            problem_params=dict(nx=config.nx, nz=config.nz, t_end=config.t_end),
+            environment=env.name,
+            cluster="local_cluster",
+            cluster_params=dict(speed_scale=config.speed_scale),
+            n_ranks=n_ranks,
+            options=opts,
+            name=f"figure3-{env.name}-{n_ranks}",
+        )
+        for env in all_environments()
+        for n_ranks in config.processor_counts
+    ]
 
 
 def run_figure3(config: Figure3Config = Figure3Config()) -> Dict[str, object]:
-    problem = ChemicalProblem(
-        ChemicalConfig(nx=config.nx, nz=config.nz, t_end=config.t_end)
-    )
-    opts = AIACOptions(
-        eps=problem.config.inner_eps,
-        stability_count=config.stability_count,
-        max_iterations=problem.config.max_inner_iterations,
-    )
-    series: Dict[str, List[float]] = {}
-    for env in all_environments():
-        label = "sync MPI" if env.name == "sync_mpi" else env.display_name
-        times: List[float] = []
-        for n_ranks in config.processor_counts:
-            network = local_cluster(n_hosts=n_ranks, speed_scale=config.speed_scale)
-            result = run_case(
-                problem.make_local, env, network, n_ranks,
-                "chemical", stepped=True, opts=opts,
-            )
-            times.append(result.makespan)
-        series[label] = times
+    scenarios = figure3_scenarios(config)
+    records = sweep(scenarios, DEFAULT_BACKEND, processes=config.processes)
+    failures = [r for r in records if "error" in r]
+    if failures:
+        raise RuntimeError(
+            f"{len(failures)} figure-3 scenario(s) failed, first: "
+            f"{failures[0]['scenario'].get('name')}: {failures[0]['error']}"
+        )
+    labels = [env.display_name for env in all_environments()]
+    per_env = len(config.processor_counts)
+    series: Dict[str, List[float]] = {
+        label: [r["makespan"] for r in records[i * per_env:(i + 1) * per_env]]
+        for i, label in enumerate(labels)
+    }
     return {
         "processor_counts": list(config.processor_counts),
         "series": series,
@@ -99,4 +118,4 @@ def format_figure3(outcome: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
-__all__ = ["Figure3Config", "run_figure3", "format_figure3"]
+__all__ = ["Figure3Config", "figure3_scenarios", "run_figure3", "format_figure3"]

@@ -17,12 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.api import Scenario
 from repro.core.aiac import AIACOptions
-from repro.clusters import ethernet_wan
-from repro.clusters.machines import DURON_800, P4_2400
-from repro.envs import get_environment
-from repro.experiments.common import run_case
-from repro.problems.sparse_linear import SparseLinearConfig, SparseLinearProblem
+from repro.experiments.common import run_scenario_case
 
 
 @dataclass(frozen=True)
@@ -36,31 +33,33 @@ class FlowConfig:
     max_iterations: int = 5_000
 
 
-def _network(config: FlowConfig):
+def _base_scenario(config: FlowConfig) -> Scenario:
     # Two machines of different speeds on two distant sites: the
     # heterogeneity is what makes the idle gaps of Figure 1 visible.
-    return ethernet_wan(
-        n_hosts=2,
-        n_sites=2,
-        machine_mix=(DURON_800, P4_2400),
-        speed_scale=config.speed_scale,
+    return Scenario(
+        problem="sparse_linear",
+        problem_params=dict(n=config.n, eps=config.eps),
+        cluster="ethernet_wan",
+        cluster_params=dict(
+            n_sites=2,
+            machine_mix=["duron_800", "p4_2400"],
+            speed_scale=config.speed_scale,
+        ),
+        n_ranks=2,
+        options=AIACOptions(
+            eps=config.eps,
+            stability_count=config.stability_count,
+            max_iterations=config.max_iterations,
+        ),
+        name="figures12",
     )
 
 
 def run_execution_flows(config: FlowConfig = FlowConfig()) -> Dict[str, object]:
-    problem = SparseLinearProblem(SparseLinearConfig(n=config.n, eps=config.eps))
-    opts = AIACOptions(
-        eps=config.eps,
-        stability_count=config.stability_count,
-        max_iterations=config.max_iterations,
-    )
+    base = _base_scenario(config)
     flows: Dict[str, object] = {}
     for label, env_name in [("figure1_sisc", "sync_mpi"), ("figure2_aiac", "pm2")]:
-        env = get_environment(env_name)
-        result = run_case(
-            problem.make_local, env, _network(config), 2,
-            "sparse_linear", stepped=False, opts=opts,
-        )
+        result = run_scenario_case(base.derive(environment=env_name))
         trace = result.world.trace
         flows[label] = {
             "makespan": result.makespan,

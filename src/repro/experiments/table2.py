@@ -26,10 +26,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.api import Scenario
 from repro.core.aiac import AIACOptions
-from repro.clusters import ethernet_wan
 from repro.envs import all_environments
-from repro.experiments.common import EnvironmentRow, render_table, run_case, speed_ratios
+from repro.experiments.common import (
+    EnvironmentRow,
+    render_table,
+    run_scenario_case,
+    speed_ratios,
+)
 from repro.problems.sparse_linear import SparseLinearConfig, SparseLinearProblem
 
 #: Paper reference values for EXPERIMENTS.md comparisons.
@@ -69,21 +74,27 @@ def run_table2(config: Table2Config = Table2Config()) -> Dict[str, object]:
         stability_count=config.stability_count,
         max_iterations=config.max_iterations,
     )
-    rows: List[EnvironmentRow] = []
-    for env in all_environments():
-        network = ethernet_wan(
-            n_hosts=config.n_ranks,
+    base = Scenario(
+        problem="sparse_linear",
+        problem_params=dict(
+            n=config.n, eps=config.eps, dominance=config.dominance, seed=config.seed
+        ),
+        cluster="ethernet_wan",
+        cluster_params=dict(
             n_sites=config.n_sites,
             speed_scale=config.speed_scale,
             wan_latency=config.wan_latency,
-        )
-        result = run_case(
-            problem.make_local, env, network, config.n_ranks,
-            "sparse_linear", stepped=False, opts=opts,
-        )
+        ),
+        n_ranks=config.n_ranks,
+        options=opts,
+        name="table2",
+    )
+    rows: List[EnvironmentRow] = []
+    for env in all_environments():
+        result = run_scenario_case(base.derive(environment=env.name))
         rows.append(
             EnvironmentRow(
-                version=("sync MPI" if env.name == "sync_mpi" else env.display_name),
+                version=env.display_name,
                 execution_time=result.makespan,
                 speed_ratio=1.0,
                 converged=result.converged,

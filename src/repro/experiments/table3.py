@@ -32,10 +32,15 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.api import Scenario
 from repro.core.aiac import AIACOptions
-from repro.clusters import ethernet_adsl, ethernet_wan
 from repro.envs import all_environments
-from repro.experiments.common import EnvironmentRow, render_table, run_case, speed_ratios
+from repro.experiments.common import (
+    EnvironmentRow,
+    render_table,
+    run_scenario_case,
+    speed_ratios,
+)
 from repro.problems.chemical import ChemicalConfig, ChemicalProblem
 
 PAPER_TABLE3 = {
@@ -74,15 +79,16 @@ class Table3Config:
     clusters: tuple = ("Ethernet", "Ethernet+ADSL")
 
 
-def _make_network(name: str, config: Table3Config):
+def _cluster_spec(name: str, config: Table3Config):
+    """(registry name, builder params) for one of the paper's clusters."""
     if name == "Ethernet":
-        return ethernet_wan(
-            n_hosts=config.n_ranks, n_sites=config.n_sites,
+        return "ethernet_wan", dict(
+            n_sites=config.n_sites,
             speed_scale=config.speed_scale, wan_latency=config.wan_latency,
         )
     if name == "Ethernet+ADSL":
-        return ethernet_adsl(
-            n_hosts=config.n_ranks, n_sites=config.n_sites + 1,
+        return "ethernet_adsl", dict(
+            n_sites=config.n_sites + 1,
             speed_scale=config.speed_scale, wan_latency=config.wan_latency,
         )
     raise ValueError(f"unknown cluster {name!r}")
@@ -100,13 +106,19 @@ def run_table3(config: Table3Config = Table3Config()) -> Dict[str, object]:
     )
     per_cluster: Dict[str, List[EnvironmentRow]] = {}
     for cluster_name in config.clusters:
+        cluster, cluster_params = _cluster_spec(cluster_name, config)
+        base = Scenario(
+            problem="chemical",
+            problem_params=dict(nx=config.nx, nz=config.nz, t_end=config.t_end),
+            cluster=cluster,
+            cluster_params=cluster_params,
+            n_ranks=config.n_ranks,
+            options=opts,
+            name=f"table3-{cluster_name}",
+        )
         rows: List[EnvironmentRow] = []
         for env in all_environments():
-            network = _make_network(cluster_name, config)
-            result = run_case(
-                problem.make_local, env, network, config.n_ranks,
-                "chemical", stepped=True, opts=opts,
-            )
+            result = run_scenario_case(base.derive(environment=env.name))
             solution = np.concatenate(
                 [
                     result.reports[r].solution.reshape(2, -1, config.nx)
@@ -119,7 +131,7 @@ def run_table3(config: Table3Config = Table3Config()) -> Dict[str, object]:
             )
             rows.append(
                 EnvironmentRow(
-                    version=("sync MPI" if env.name == "sync_mpi" else env.display_name),
+                    version=env.display_name,
                     execution_time=result.makespan,
                     speed_ratio=1.0,
                     converged=result.converged,

@@ -13,6 +13,8 @@
   the AIAC / SISC workers in :mod:`repro.core`.
 """
 
+from typing import Any, Callable, List
+
 from repro.problems.base import (
     LocalIteration,
     LocalSolver,
@@ -30,8 +32,45 @@ from repro.problems.chemical import (
     PAPER_CHEMICAL,
     make_chemical_problem,
 )
+from repro.registry import Registry
+
+PROBLEM_REGISTRY = Registry("problem")
+
+
+def register_problem(name=None, **kwargs) -> Callable:
+    """Register a problem factory (``(**params) -> problem``) by name.
+
+    The factory must return an object exposing ``make_local(rank, size)``
+    (see :class:`repro.problems.base.LocalSolver`); registered names are
+    usable in :class:`repro.api.Scenario` dicts.
+    """
+    return PROBLEM_REGISTRY.register(name, **kwargs)
+
+
+def get_problem_factory(name: str) -> Callable:
+    """Look up a registered problem factory by name."""
+    return PROBLEM_REGISTRY.get(name)
+
+
+def get_problem(name: str, **params: Any):
+    """Build a problem instance from a registered factory."""
+    return PROBLEM_REGISTRY.get(name)(**params)
+
+
+def list_problems() -> List[str]:
+    """Sorted names of all registered problems."""
+    return PROBLEM_REGISTRY.names()
+
+
+register_problem("sparse_linear")(make_sparse_linear_problem)
+register_problem("chemical")(make_chemical_problem)
 
 __all__ = [
+    "PROBLEM_REGISTRY",
+    "register_problem",
+    "get_problem_factory",
+    "get_problem",
+    "list_problems",
     "LocalIteration",
     "LocalSolver",
     "SteppedLocalSolver",

@@ -23,6 +23,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional
 
+import numpy as np
+
 from repro.simgrid import effects as fx
 from repro.simgrid.message import Message
 
@@ -36,7 +38,14 @@ class ThreadWorkerError(RuntimeError):
 
 @dataclass
 class ThreadRunResult:
-    """Outcome of a threaded run."""
+    """Outcome of a threaded run.
+
+    Mirrors the aggregate surface of :class:`repro.core.run.RunResult`
+    (``converged``, ``total_iterations``, ``max_iterations``,
+    ``solution()``, ``stats()``) so callers need not care which backend
+    produced their numbers; ``repro.api`` unifies both behind one
+    result type.
+    """
 
     results: Dict[int, Any]
     elapsed: float
@@ -46,6 +55,38 @@ class ThreadRunResult:
     def reports(self) -> Dict[int, Any]:
         """Alias matching :class:`repro.core.run.RunResult` usage."""
         return self.results
+
+    @property
+    def converged(self) -> bool:
+        return bool(self.results) and all(
+            r.converged for r in self.results.values()
+        )
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(r.iterations for r in self.results.values())
+
+    @property
+    def max_iterations(self) -> int:
+        return max((r.iterations for r in self.results.values()), default=0)
+
+    def solution(self) -> np.ndarray:
+        """Concatenate the per-rank local solutions in rank order."""
+        parts = [self.results[r].solution for r in sorted(self.results)]
+        return np.concatenate(parts)
+
+    def stats(self) -> dict:
+        return {
+            "elapsed": self.elapsed,
+            "messages_sent": self.messages_sent,
+            "converged": self.converged,
+            "iterations_per_rank": {
+                r: rep.iterations for r, rep in sorted(self.results.items())
+            },
+            "skipped_sends": sum(
+                r.skipped_sends for r in self.results.values()
+            ),
+        }
 
 
 def _interpret(
@@ -107,6 +148,12 @@ def run_threaded(
     timeout: float = 120.0,
 ) -> ThreadRunResult:
     """Execute ``n_ranks`` worker coroutines on real threads.
+
+    .. deprecated::
+        ``run_threaded`` is the legacy positional front door, kept for
+        backwards compatibility.  New code should describe the run as a
+        :class:`repro.api.Scenario` and execute it through
+        :class:`repro.api.ThreadedBackend`, which wraps this function.
 
     Parameters
     ----------
