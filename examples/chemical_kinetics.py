@@ -8,6 +8,7 @@ first sequentially, then in parallel via a declarative
 simulated grid, comparing the two solutions.
 
 Run:  python examples/chemical_kinetics.py
+Illustrates:  docs/scenarios.md (problem registry + options derivation)
 """
 
 import numpy as np

@@ -7,6 +7,7 @@ Figures 1-2 (execution flows) and the qualitative sections
 (deployment validation, AIAC feature checklist).
 
 Run:  python examples/environment_comparison.py        (~1-2 minutes)
+Illustrates:  docs/backends.md (simulated semantics at paper scale)
 """
 
 from repro.clusters import local_cluster

@@ -8,6 +8,7 @@ version and the asynchronous PM2 version on a small grid of three
 distant sites, comparing times, iteration counts and accuracy.
 
 Run:  python examples/quickstart.py
+Illustrates:  docs/quickstart.md
 """
 
 from repro.api import Scenario, get_environment, run_scenario

@@ -6,6 +6,7 @@ that asynchronism reaches the best execution time with fewer
 processors ("less resources demanding for the same efficiency").
 
 Run:  python examples/scalability_study.py     (~30 s)
+Illustrates:  docs/scenarios.md (grids + sweeps over a process pool)
 """
 
 from repro.experiments.figure3 import Figure3Config, format_figure3, run_figure3

@@ -10,6 +10,7 @@ through plain dicts, so the same grid could be loaded from a JSON file
 (see the ``repro`` console command).
 
 Run:  python examples/scenario_sweep.py
+Illustrates:  docs/scenarios.md
 """
 
 import json

@@ -10,6 +10,7 @@ convergence-detection protocol -- and yields the same unified
 :class:`repro.api.RunResult` as the simulator.
 
 Run:  python examples/threads_backend.py
+Illustrates:  docs/backends.md
 """
 
 from repro.api import Scenario, ThreadedBackend

@@ -28,6 +28,10 @@ Quickstart::
                                     environment=["sync_mpi", "pm2"],
                                     problem_params__n=[600, 1200]),
                     processes=4)
+
+Guides: ``docs/quickstart.md`` (first run), ``docs/scenarios.md``
+(field/registry reference), ``docs/backends.md`` (execution
+semantics), ``docs/benchmarking.md`` (the ``repro bench`` harness).
 """
 
 from repro.api.backends import (

@@ -28,7 +28,21 @@ from repro.runtime.executor import run_threaded
 
 @runtime_checkable
 class Backend(Protocol):
-    """Anything that can execute a scenario into a unified result."""
+    """Anything that can execute a scenario into a unified result.
+
+    Implement ``run`` plus a ``name``, register with
+    :func:`register_backend`, and ``sweep``/``run_scenario``/the CLI
+    pick the backend up by name::
+
+        @register_backend("my_backend")
+        class MyBackend:
+            name = "my_backend"
+            def run(self, scenario):
+                ...
+                return RunResult(makespan=..., reports=..., backend=self.name)
+
+    Semantics of the two built-ins: ``docs/backends.md``.
+    """
 
     name: str
 
@@ -40,17 +54,29 @@ BACKEND_REGISTRY = Registry("backend")
 
 
 def register_backend(name=None, **kwargs) -> Callable:
-    """Register a backend class under a short name."""
+    """Register a backend class under a short name (decorator)::
+
+        @register_backend("my_backend")
+        class MyBackend: ...
+    """
     return BACKEND_REGISTRY.register(name, **kwargs)
 
 
 def get_backend(name: str, **kwargs: Any) -> Backend:
-    """Instantiate a backend by name (``"simulated"`` or ``"threaded"``)."""
+    """Instantiate a backend by name::
+
+        backend = get_backend("threaded", timeout=60.0)
+        result = backend.run(scenario)
+    """
     return BACKEND_REGISTRY.get(name)(**kwargs)
 
 
 def list_backends() -> List[str]:
-    """Sorted names of all registered backends."""
+    """Sorted names of all registered backends::
+
+        >>> list_backends()
+        ['simulated', 'threaded']
+    """
     return BACKEND_REGISTRY.names()
 
 
@@ -60,7 +86,14 @@ class SimulatedBackend:
     """Run scenarios on the discrete-event simulator.
 
     ``trace``/``max_events`` are forwarded to the simulator world;
-    ``makespan`` of the produced result is in *simulated* seconds.
+    ``makespan`` of the produced result is in *simulated* seconds and
+    is exactly reproducible run to run::
+
+        result = SimulatedBackend().run(scenario)
+        assert SimulatedBackend().run(scenario).makespan == result.makespan
+
+    See ``docs/backends.md`` for what the simulator does and does not
+    model.
     """
 
     name: ClassVar[str] = "simulated"
@@ -115,7 +148,12 @@ class ThreadedBackend:
     time is real and channels are in-process); the environment still
     chooses the default algorithm, so the same scenario value runs
     unchanged.  ``makespan`` of the produced result is wall-clock
-    seconds.
+    seconds::
+
+        result = ThreadedBackend(timeout=60.0).run(scenario)
+
+    Iteration counts vary between runs (real concurrency); a converged
+    result is still always correct.  See ``docs/backends.md``.
     """
 
     name: ClassVar[str] = "threaded"
@@ -151,7 +189,15 @@ def run_scenario(
     backend: Any = None,
     **backend_kwargs: Any,
 ) -> RunResult:
-    """One-call convenience: run a scenario on a backend (by name or value)."""
+    """One-call convenience: run a scenario on a backend (by name or value)::
+
+        result = run_scenario(scenario)                       # simulated
+        result = run_scenario(scenario, backend="threaded")   # by name
+        result = run_scenario(scenario, backend="threaded", timeout=30.0)
+
+    Keyword arguments are forwarded to the backend constructor when the
+    backend is given by name (or omitted).
+    """
     if backend is None:
         backend = SimulatedBackend(**backend_kwargs)
     elif isinstance(backend, str):

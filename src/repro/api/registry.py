@@ -29,7 +29,11 @@ from repro.registry import Registry
 
 
 def list_environments():
-    """Sorted names of all registered environments."""
+    """Sorted names of all registered environments::
+
+        >>> list_environments()
+        ['mpimad', 'omniorb', 'pm2', 'sync_mpi']
+    """
     return sorted(env.name for env in all_environments())
 
 

@@ -20,7 +20,11 @@ from repro.core.aiac import WorkerReport
 
 
 def jsonify(value: Any) -> Any:
-    """Recursively convert numpy containers/scalars to JSON-safe types."""
+    """Recursively convert numpy containers/scalars to JSON-safe types::
+
+        >>> jsonify({"x": np.arange(2), "n": np.int64(3)})
+        {'x': [0, 1], 'n': 3}
+    """
     if isinstance(value, np.ndarray):
         return value.tolist()
     if isinstance(value, np.generic):
@@ -42,6 +46,19 @@ class RunResult:
     always the wall-clock time the execution took.  ``world`` is the
     simulator world when one exists (trace access); it is never
     serialized.
+
+    Example
+    -------
+    ::
+
+        result = run_scenario(scenario)
+        if result.converged:
+            x = result.solution()              # global vector, rank order
+        record = result.to_record()            # JSON-safe dict
+        same = RunResult.from_record(record)   # minus the live world
+
+    The record fields are what ``sweep`` and the CLI emit; see
+    ``docs/backends.md`` for the full surface.
     """
 
     makespan: float
@@ -57,16 +74,19 @@ class RunResult:
     # ------------------------------------------------------------------
     @property
     def converged(self) -> bool:
+        """True when every rank reported convergence."""
         return bool(self.reports) and all(
             r.converged for r in self.reports.values()
         )
 
     @property
     def total_iterations(self) -> int:
+        """Sum of iteration counts over all ranks."""
         return sum(r.iterations for r in self.reports.values())
 
     @property
     def max_iterations(self) -> int:
+        """Largest per-rank iteration count (0 with no reports)."""
         return max((r.iterations for r in self.reports.values()), default=0)
 
     def solution(self) -> np.ndarray:
@@ -80,6 +100,7 @@ class RunResult:
         return np.concatenate(parts)
 
     def stats(self) -> dict:
+        """Flat summary dict (makespan, convergence, per-rank iterations)."""
         return {
             "backend": self.backend,
             "makespan": self.makespan,

@@ -73,6 +73,20 @@ class Scenario:
         registering custom problems.
     name:
         Optional label carried into records.
+
+    Example
+    -------
+    ::
+
+        from repro.api import Scenario, run_scenario
+
+        scenario = Scenario(problem="sparse_linear",
+                            problem_params={"n": 600},
+                            environment="pm2", n_ranks=4)
+        result = run_scenario(scenario)          # simulated backend
+        faster = scenario.derive(environment="sync_mpi")
+
+    Field reference and JSON forms: ``docs/scenarios.md``.
     """
 
     problem: str
@@ -183,7 +197,12 @@ class Scenario:
     # serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form (JSON-serializable for plain parameters)."""
+        """Plain-dict form (JSON-serializable for plain parameters).
+
+        ``Scenario.from_dict(json.loads(json.dumps(s.to_dict())))``
+        rebuilds an equal scenario -- the currency of CLI files and
+        process-pool sweeps.
+        """
         return {
             "problem": self.problem,
             "environment": self.environment,
@@ -204,7 +223,8 @@ class Scenario:
         """Rebuild a scenario from :meth:`to_dict` output.
 
         Unknown keys raise, so typos in hand-written scenario files are
-        caught instead of silently ignored.
+        caught instead of silently ignored.  The minimal valid input is
+        ``{"problem": "sparse_linear"}``.
         """
         known = {f.name for f in fields(cls)}
         unknown = sorted(set(data) - known)

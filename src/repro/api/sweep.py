@@ -77,6 +77,17 @@ def sweep(
     One dict per scenario with the fields of
     :meth:`RunResult.to_record` plus ``index``; a failed scenario's
     record carries ``error`` (and ``traceback``) instead.
+
+    Example
+    -------
+    ::
+
+        records = sweep(scenario_matrix(base,
+                                        environment=["sync_mpi", "pm2"],
+                                        problem_params__n=[600, 1200]),
+                        processes=4)
+        makespans = {r["index"]: r["makespan"] for r in records
+                     if "error" not in r}
     """
     if backend is None:
         backend = SimulatedBackend()

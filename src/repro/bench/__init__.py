@@ -1,0 +1,78 @@
+"""``repro.bench`` -- the repository's speed ledger.
+
+A reproducible benchmark harness over the Scenario/Backend API plus a
+set of hot-path kernel micro-benchmarks.  Every run produces a
+machine-readable ``BENCH_<n>.json`` (median-of-k wall-clock timings,
+deterministic work counters, environment fingerprint, git revision)
+that later runs compare against, so every PR has an objective
+before/after record.
+
+Three layers:
+
+* :mod:`repro.bench.suite` -- the curated :class:`BenchCase` list
+  (``DEFAULT_SUITE``, the ``--quick`` smoke tier, ``select_cases``);
+* :mod:`repro.bench.kernels` -- registered micro-benchmarks of the hot
+  paths (sparse mat-vec, engine dispatch, norms, channel traffic);
+* :mod:`repro.bench.harness` / :mod:`repro.bench.compare` -- execution,
+  JSON emission/validation, and the regression gate.
+
+Quickstart::
+
+    from repro.bench import quick_suite, run_suite, write_bench
+    from repro.bench import load_bench, compare_payloads
+
+    payload = run_suite(quick_suite(), repeats=3)
+    write_bench(payload)                       # BENCH_<n>.json
+    report = compare_payloads(load_bench("BENCH_0.json"), payload)
+    print(report.format())
+
+or, from a shell: ``repro bench --quick`` and
+``repro bench --compare BENCH_0.json``.  See ``docs/benchmarking.md``.
+"""
+
+from repro.bench.compare import (
+    DEFAULT_THRESHOLD,
+    CaseComparison,
+    Comparison,
+    compare_payloads,
+)
+from repro.bench.harness import (
+    SCHEMA_VERSION,
+    environment_fingerprint,
+    load_bench,
+    next_bench_path,
+    run_case,
+    run_suite,
+    validate_payload,
+    write_bench,
+)
+from repro.bench.kernels import KERNELS, register_kernel
+from repro.bench.suite import (
+    DEFAULT_SUITE,
+    QUICK,
+    BenchCase,
+    quick_suite,
+    select_cases,
+)
+
+__all__ = [
+    "BenchCase",
+    "DEFAULT_SUITE",
+    "QUICK",
+    "quick_suite",
+    "select_cases",
+    "KERNELS",
+    "register_kernel",
+    "SCHEMA_VERSION",
+    "run_case",
+    "run_suite",
+    "validate_payload",
+    "environment_fingerprint",
+    "next_bench_path",
+    "write_bench",
+    "load_bench",
+    "DEFAULT_THRESHOLD",
+    "CaseComparison",
+    "Comparison",
+    "compare_payloads",
+]

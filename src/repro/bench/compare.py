@@ -1,0 +1,149 @@
+"""Compare two bench payloads: the regression gate.
+
+Cases are matched by name; each match gets a ``speedup`` factor
+(baseline median / current median, >1 means the current run is
+faster).  A case is a *regression* when the current median exceeds the
+baseline median by more than the threshold factor, an *improvement*
+when it beats it by the same margin, and *ok* inside the noise band.
+
+Usage::
+
+    from repro.bench import compare_payloads, load_bench
+
+    report = compare_payloads(load_bench("BENCH_0.json"),
+                              load_bench("BENCH_1.json"),
+                              threshold=1.25)
+    print(report.format())
+    if report.regressions:
+        raise SystemExit(1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Optional
+
+#: Default noise band: a case must slow down by >25% to count as a
+#: regression (median-of-k on shared CI runners jitters well below that).
+DEFAULT_THRESHOLD = 1.25
+
+
+@dataclass(frozen=True)
+class CaseComparison:
+    """One matched (or unmatched) case in a comparison.
+
+    ``status`` is ``"ok"``, ``"improved"``, ``"regression"``,
+    ``"added"`` (only in current) or ``"removed"`` (only in baseline).
+    ``speedup`` is ``baseline_median / current_median`` when both sides
+    exist.
+    """
+
+    name: str
+    status: str
+    baseline_median_s: Optional[float] = None
+    current_median_s: Optional[float] = None
+    speedup: Optional[float] = None
+
+
+@dataclass
+class Comparison:
+    """Full comparison between a baseline and a current payload."""
+
+    threshold: float
+    rows: List[CaseComparison] = field(default_factory=list)
+    baseline_env: Mapping[str, Any] = field(default_factory=dict)
+    current_env: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def regressions(self) -> List[CaseComparison]:
+        """Rows whose current median breached the threshold."""
+        return [row for row in self.rows if row.status == "regression"]
+
+    @property
+    def improvements(self) -> List[CaseComparison]:
+        """Rows that beat the baseline by more than the threshold."""
+        return [row for row in self.rows if row.status == "improved"]
+
+    def format(self) -> str:
+        """Human-readable table, one row per case."""
+        lines = [
+            f"{'case':<36} {'baseline':>12} {'current':>12} {'speedup':>8}  status",
+            "-" * 80,
+        ]
+        for row in self.rows:
+            base = "-" if row.baseline_median_s is None else f"{row.baseline_median_s * 1e3:.3f}ms"
+            cur = "-" if row.current_median_s is None else f"{row.current_median_s * 1e3:.3f}ms"
+            speed = "-" if row.speedup is None else f"{row.speedup:.2f}x"
+            lines.append(f"{row.name:<36} {base:>12} {cur:>12} {speed:>8}  {row.status}")
+        lines.append("-" * 80)
+        lines.append(
+            f"threshold {self.threshold:.2f}x | "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s)"
+        )
+        if self.baseline_env.get("git_rev") != self.current_env.get("git_rev"):
+            lines.append(
+                f"baseline rev {str(self.baseline_env.get('git_rev'))[:12]} -> "
+                f"current rev {str(self.current_env.get('git_rev'))[:12]}"
+            )
+        for key in ("platform", "python", "numpy"):
+            if self.baseline_env.get(key) != self.current_env.get(key):
+                lines.append(
+                    f"WARNING: {key} differs "
+                    f"({self.baseline_env.get(key)} vs {self.current_env.get(key)}); "
+                    "timings are not comparable across machines"
+                )
+        return "\n".join(lines)
+
+
+def compare_payloads(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Comparison:
+    """Match cases by name and classify each against ``threshold``.
+
+    ``threshold`` must be > 1; e.g. 1.25 flags a case whose current
+    median is more than 1.25x its baseline median.
+    """
+    if threshold <= 1.0:
+        raise ValueError("threshold must be > 1 (a slowdown factor)")
+    baseline_cases = {c["name"]: c for c in baseline.get("cases", [])}
+    current_cases = {c["name"]: c for c in current.get("cases", [])}
+    report = Comparison(
+        threshold=threshold,
+        baseline_env=baseline.get("environment", {}),
+        current_env=current.get("environment", {}),
+    )
+    for name, base in baseline_cases.items():
+        cur = current_cases.get(name)
+        if cur is None:
+            report.rows.append(CaseComparison(name=name, status="removed",
+                                              baseline_median_s=base["median_s"]))
+            continue
+        base_median = float(base["median_s"])
+        cur_median = float(cur["median_s"])
+        speedup = base_median / cur_median if cur_median > 0 else float("inf")
+        if cur_median > base_median * threshold:
+            status = "regression"
+        elif cur_median * threshold < base_median:
+            status = "improved"
+        else:
+            status = "ok"
+        report.rows.append(
+            CaseComparison(
+                name=name,
+                status=status,
+                baseline_median_s=base_median,
+                current_median_s=cur_median,
+                speedup=speedup,
+            )
+        )
+    for name, cur in current_cases.items():
+        if name not in baseline_cases:
+            report.rows.append(CaseComparison(name=name, status="added",
+                                              current_median_s=cur["median_s"]))
+    return report
+
+
+__all__ = ["DEFAULT_THRESHOLD", "CaseComparison", "Comparison", "compare_payloads"]

@@ -1,0 +1,272 @@
+"""Reproducible benchmark harness: run cases, emit ``BENCH_<n>.json``.
+
+The harness executes :class:`~repro.bench.suite.BenchCase` values --
+scenarios through the Scenario/Backend API, kernels through
+:data:`~repro.bench.kernels.KERNELS` -- takes median-of-k wall-clock
+timings, records the exact work counters of every repetition (engine
+events, solver iterations, messages) and stamps the payload with an
+environment fingerprint (interpreter, numpy, platform, git revision).
+Counters of simulator and kernel cases are run-to-run deterministic;
+the payload records whether that held.
+
+Usage::
+
+    from repro.bench import run_suite, write_bench, quick_suite
+
+    payload = run_suite(quick_suite(), repeats=3)
+    path = write_bench(payload)          # -> BENCH_0.json, BENCH_1.json, ...
+
+The emitted schema (``schema_version`` 1) is validated by
+:func:`validate_payload`; see ``docs/benchmarking.md`` for the field
+reference.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.bench.kernels import KERNELS
+from repro.bench.suite import BenchCase
+
+#: Version of the emitted JSON schema; bump on incompatible changes.
+SCHEMA_VERSION = 1
+
+#: Fields every case record must carry (see :func:`validate_payload`).
+_CASE_FIELDS = (
+    "name",
+    "kind",
+    "repeats",
+    "timings_s",
+    "median_s",
+    "min_s",
+    "counters",
+    "counters_deterministic",
+)
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """The current git commit hash, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """Where the numbers came from: interpreter, numpy, host, git rev.
+
+    Timings are only comparable between payloads with compatible
+    fingerprints; ``--compare`` prints both so a cross-machine
+    comparison is at least visibly cross-machine.
+    """
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_rev": git_revision(),
+    }
+
+
+def _run_scenario_case(case: BenchCase, repeats: int) -> Dict[str, Any]:
+    from repro.api import Scenario, get_backend
+
+    scenario = Scenario.from_dict(case.scenario)
+    timings: List[float] = []
+    counter_runs: List[Dict[str, Any]] = []
+    for _ in range(repeats):
+        backend = get_backend(case.backend)
+        started = time.perf_counter()
+        result = backend.run(scenario)
+        timings.append(time.perf_counter() - started)
+        stats = result.backend_stats
+        counter_runs.append(
+            {
+                "events": int(stats.get("events", 0)),
+                "messages_sent": int(stats.get("messages_sent", 0)),
+                "total_iterations": int(result.total_iterations),
+                "max_iterations": int(result.max_iterations),
+                "converged": int(result.converged),
+            }
+        )
+    return {"timings_s": timings, "counter_runs": counter_runs}
+
+
+def _run_kernel_case(case: BenchCase, repeats: int) -> Dict[str, Any]:
+    factory = KERNELS.get(case.kernel)
+    if factory is None:
+        raise KeyError(
+            f"unknown kernel {case.kernel!r}; known: {sorted(KERNELS)}"
+        )
+    run_once = factory()  # setup outside the timed region
+    timings: List[float] = []
+    counter_runs: List[Dict[str, Any]] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        counters = run_once()
+        timings.append(time.perf_counter() - started)
+        counter_runs.append({k: int(v) for k, v in counters.items()})
+    return {"timings_s": timings, "counter_runs": counter_runs}
+
+
+def run_case(case: BenchCase, repeats: int = 5) -> Dict[str, Any]:
+    """Execute one case ``repeats`` times; return its JSON record.
+
+    The record's ``median_s``/``min_s`` summarize wall-clock timings;
+    ``counters`` holds the work metrics of the last repetition and
+    ``counters_deterministic`` whether every repetition produced the
+    same metrics (expected for simulator and kernel cases).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if case.kind == "scenario":
+        raw = _run_scenario_case(case, repeats)
+    else:
+        raw = _run_kernel_case(case, repeats)
+    runs = raw["counter_runs"]
+    stable = all(run == runs[0] for run in runs[1:])
+    return {
+        "name": case.name,
+        "kind": case.kind,
+        "repeats": repeats,
+        "timings_s": raw["timings_s"],
+        "median_s": statistics.median(raw["timings_s"]),
+        "min_s": min(raw["timings_s"]),
+        "counters": runs[-1],
+        "counters_deterministic": bool(stable and case.deterministic_counters),
+    }
+
+
+def run_suite(
+    cases: Iterable[BenchCase],
+    repeats: int = 5,
+    progress: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Run ``cases`` and assemble the full bench payload.
+
+    ``progress`` is an optional ``callable(case, record)`` invoked
+    after each case (the CLI uses it to print live results).
+    """
+    records = []
+    for case in cases:
+        record = run_case(case, repeats=repeats)
+        records.append(record)
+        if progress is not None:
+            progress(case, record)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "repeats": repeats,
+        "environment": environment_fingerprint(),
+        "cases": records,
+    }
+
+
+def validate_payload(payload: Mapping[str, Any]) -> List[str]:
+    """Schema check; returns a list of problems (empty means valid)."""
+    errors: List[str] = []
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version is {payload.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    env = payload.get("environment")
+    if not isinstance(env, Mapping):
+        errors.append("missing environment fingerprint")
+    else:
+        for key in ("python", "numpy", "platform"):
+            if key not in env:
+                errors.append(f"environment lacks {key!r}")
+    cases = payload.get("cases")
+    if not isinstance(cases, list) or not cases:
+        errors.append("payload has no cases")
+        return errors
+    seen = set()
+    for index, record in enumerate(cases):
+        label = record.get("name", f"#{index}") if isinstance(record, Mapping) else f"#{index}"
+        if not isinstance(record, Mapping):
+            errors.append(f"case {label}: not an object")
+            continue
+        for field in _CASE_FIELDS:
+            if field not in record:
+                errors.append(f"case {label}: missing field {field!r}")
+        if label in seen:
+            errors.append(f"case {label}: duplicate name")
+        seen.add(label)
+        timings = record.get("timings_s")
+        if isinstance(timings, list):
+            if len(timings) != record.get("repeats"):
+                errors.append(f"case {label}: timings_s length != repeats")
+            if any(not isinstance(t, (int, float)) or t < 0 for t in timings):
+                errors.append(f"case {label}: non-numeric or negative timing")
+        if not isinstance(record.get("counters"), Mapping):
+            errors.append(f"case {label}: counters is not a mapping")
+    return errors
+
+
+def next_bench_path(directory: Union[str, Path] = ".") -> Path:
+    """First free ``BENCH_<n>.json`` path in ``directory``."""
+    directory = Path(directory)
+    n = 0
+    while (directory / f"BENCH_{n}.json").exists():
+        n += 1
+    return directory / f"BENCH_{n}.json"
+
+
+def write_bench(
+    payload: Mapping[str, Any],
+    path: Optional[Union[str, Path]] = None,
+    directory: Union[str, Path] = ".",
+) -> Path:
+    """Write a payload to ``path`` (default: next free ``BENCH_<n>.json``)."""
+    errors = validate_payload(payload)
+    if errors:
+        raise ValueError("refusing to write invalid payload: " + "; ".join(errors))
+    target = Path(path) if path is not None else next_bench_path(directory)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def load_bench(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and schema-validate a bench JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    errors = validate_payload(payload)
+    if errors:
+        raise ValueError(f"{path} is not a valid bench file: " + "; ".join(errors))
+    return payload
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "environment_fingerprint",
+    "git_revision",
+    "run_case",
+    "run_suite",
+    "validate_payload",
+    "next_bench_path",
+    "write_bench",
+    "load_bench",
+]

@@ -1,0 +1,175 @@
+"""Hot-path micro-benchmarks.
+
+Each kernel is a *factory*: calling it performs all setup (matrix
+construction, vector allocation) outside the timed region and returns
+a zero-argument closure.  Calling the closure executes one timed
+repetition of the workload and returns the case's counters -- exact
+work metrics (events processed, mat-vecs applied, messages posted)
+that must be identical run-to-run, which is what
+``tests/test_bench.py`` pins down.
+
+Usage::
+
+    from repro.bench.kernels import KERNELS
+
+    run_once = KERNELS["sparse_matvec"]()   # setup happens here
+    counters = run_once()                   # one timed repetition
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+KernelFactory = Callable[[], Callable[[], Dict[str, int]]]
+
+#: Kernel registry: name -> factory.  Names are referenced by
+#: :data:`repro.bench.suite.DEFAULT_SUITE` and ``--filter``.
+KERNELS: Dict[str, KernelFactory] = {}
+
+
+def register_kernel(name: str) -> Callable[[KernelFactory], KernelFactory]:
+    """Register a kernel factory under ``name`` (decorator)."""
+
+    def decorate(factory: KernelFactory) -> KernelFactory:
+        if name in KERNELS:
+            raise ValueError(f"duplicate kernel {name!r}")
+        KERNELS[name] = factory
+        return factory
+
+    return decorate
+
+
+def _paper_matrix(n: int = 1200, half_diagonals: int = 15, seed: int = 0):
+    """A Table-1-shaped multi-diagonal matrix: ~31 spread diagonals."""
+    from repro.linalg.sparse import MultiDiagonalMatrix
+
+    rng = np.random.default_rng(seed)
+    upper = rng.choice(np.arange(1, n // 2), size=half_diagonals, replace=False)
+    offsets = [0] + [int(k) for k in upper] + [-int(k) for k in upper]
+    matrix = MultiDiagonalMatrix(n, offsets)
+    for k in offsets:
+        matrix.set_diagonal(k, float(rng.random()) + 0.1)
+    return matrix, rng.random(n)
+
+
+@register_kernel("sparse_matvec")
+def sparse_matvec() -> Callable[[], Dict[str, int]]:
+    """Full DIA mat-vec, the inner product of every solver iteration."""
+    matrix, x = _paper_matrix()
+    reps = 200
+
+    def run() -> Dict[str, int]:
+        for _ in range(reps):
+            matrix.matvec(x)
+        return {"matvecs": reps, "n": matrix.n, "diagonals": len(matrix.offsets)}
+
+    return run
+
+
+@register_kernel("sparse_row_block_matvec")
+def sparse_row_block_matvec() -> Callable[[], Dict[str, int]]:
+    """Row-block DIA mat-vec -- the per-rank product of Section 4.3."""
+    matrix, x = _paper_matrix()
+    n = matrix.n
+    blocks = [(i * n // 4, (i + 1) * n // 4) for i in range(4)]
+    reps = 100
+
+    def run() -> Dict[str, int]:
+        for _ in range(reps):
+            for lo, hi in blocks:
+                matrix.row_block_matvec(lo, hi, x)
+        return {"matvecs": reps * len(blocks), "n": n, "blocks": len(blocks)}
+
+    return run
+
+
+@register_kernel("csr_matvec")
+def csr_matvec() -> Callable[[], Dict[str, int]]:
+    """CSR mat-vec on the same sparsity (cross-check implementation)."""
+    from repro.linalg.sparse import CSRMatrix
+
+    matrix, x = _paper_matrix(n=600)
+    csr = CSRMatrix.from_dense(matrix.to_dense())
+    reps = 200
+
+    def run() -> Dict[str, int]:
+        for _ in range(reps):
+            csr.matvec(x)
+        return {"matvecs": reps, "n": csr.n_rows, "nnz": csr.nnz}
+
+    return run
+
+
+@register_kernel("engine_dispatch")
+def engine_dispatch() -> Callable[[], Dict[str, int]]:
+    """Event scheduling + dispatch throughput of the simulator core.
+
+    A 100-wide cascade of self-rescheduling callbacks with staggered
+    deadlines -- the access pattern of a busy transport layer (many
+    in-flight timers, frequent same-timestamp groups at t=0).
+    """
+    from repro.simgrid.engine import Engine
+
+    total = 20_000
+
+    def run() -> Dict[str, int]:
+        engine = Engine()
+        fired = [0]
+
+        def callback() -> None:
+            fired[0] += 1
+            if fired[0] < total:
+                engine.after(0.001 * (fired[0] % 7), callback)
+
+        for _ in range(100):
+            engine.at(0.0, callback)
+        engine.run()
+        return {"events": engine.events_processed}
+
+    return run
+
+
+@register_kernel("norms_residual")
+def norms_residual() -> Callable[[], Dict[str, int]]:
+    """The convergence-test norms evaluated every solver iteration."""
+    from repro.linalg.norms import max_norm_diff, relative_max_norm_diff
+
+    rng = np.random.default_rng(7)
+    x = rng.random(50_000)
+    y = x + 1e-9 * rng.random(50_000)
+    reps = 200
+
+    def run() -> Dict[str, int]:
+        for _ in range(reps):
+            max_norm_diff(x, y)
+            relative_max_norm_diff(x, y)
+        return {"evaluations": 2 * reps, "n": x.size}
+
+    return run
+
+
+@register_kernel("channel_post_drain")
+def channel_post_drain() -> Callable[[], Dict[str, int]]:
+    """Thread-backend mailbox traffic: post/drain across 4 ranks."""
+    from repro.runtime.channels import ChannelHub
+    from repro.simgrid.message import Message
+
+    n_ranks, messages = 4, 2_000
+
+    def run() -> Dict[str, int]:
+        hub = ChannelHub(n_ranks)
+        for i in range(messages):
+            hub.post(
+                Message(src=i % n_ranks, dst=(i + 1) % n_ranks, tag="data", payload=i)
+            )
+            if i % 16 == 15:
+                hub.drain((i + 1) % n_ranks)
+        drained = sum(len(hub.drain(rank)) for rank in range(n_ranks))
+        return {"messages": hub.messages_sent, "late_drained": drained}
+
+    return run
+
+
+__all__ = ["KERNELS", "register_kernel"]

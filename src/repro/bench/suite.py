@@ -1,0 +1,174 @@
+"""The curated benchmark suite: cases as values.
+
+A :class:`BenchCase` names either a *scenario* (a
+:class:`repro.api.Scenario` dict executed end-to-end through a
+backend) or a *kernel* (a hot-path micro-benchmark from
+:mod:`repro.bench.kernels`).  The default suite mixes both so a single
+``repro bench`` run records the end-to-end cost of the paper's
+workloads *and* the isolated cost of the primitives they stress
+(sparse mat-vec, event dispatch, channel traffic).
+
+Usage::
+
+    from repro.bench import DEFAULT_SUITE, quick_suite
+
+    for case in quick_suite():        # the smoke-tier subset
+        print(case.name, case.kind)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+#: Tag marking a case as part of the smoke tier (``repro bench --quick``).
+QUICK = "quick"
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One named benchmark: a scenario run or a kernel micro-benchmark.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier; ``--compare`` matches cases across bench
+        files by this name, so renaming a case breaks its history.
+    kind:
+        ``"scenario"`` (end-to-end through a backend) or ``"kernel"``
+        (a micro-benchmark from :data:`repro.bench.kernels.KERNELS`).
+    scenario:
+        :meth:`repro.api.Scenario.to_dict` form; ``kind="scenario"``.
+    backend:
+        Backend registry name the scenario runs on.
+    kernel:
+        Kernel name; ``kind="kernel"``.
+    tags:
+        Free-form labels; the :data:`QUICK` tag selects the smoke tier.
+    deterministic_counters:
+        Whether the case's counters must be identical run-to-run (true
+        for the simulator and for kernels; false for real threads).
+    """
+
+    name: str
+    kind: str
+    scenario: Optional[Mapping[str, Any]] = None
+    backend: str = "simulated"
+    kernel: Optional[str] = None
+    tags: Tuple[str, ...] = ()
+    deterministic_counters: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("scenario", "kernel"):
+            raise ValueError(f"kind must be 'scenario' or 'kernel', got {self.kind!r}")
+        if self.kind == "scenario" and not self.scenario:
+            raise ValueError(f"case {self.name!r}: scenario kind needs a scenario dict")
+        if self.kind == "kernel" and not self.kernel:
+            raise ValueError(f"case {self.name!r}: kernel kind needs a kernel name")
+
+
+def _sparse(n: int, environment: str, n_ranks: int) -> Dict[str, Any]:
+    return {
+        "problem": "sparse_linear",
+        "problem_params": {"n": n},
+        "environment": environment,
+        "n_ranks": n_ranks,
+        "seed": 42,
+    }
+
+
+#: The curated suite.  Order is presentation order in reports; names are
+#: the stable comparison keys, never recycle them for different work.
+DEFAULT_SUITE: List[BenchCase] = [
+    # -- end-to-end scenarios (simulated unless said otherwise) --------
+    BenchCase(
+        name="scenario/sparse_pm2_n600_r4",
+        kind="scenario",
+        scenario=_sparse(600, "pm2", 4),
+        tags=(QUICK,),
+    ),
+    BenchCase(
+        name="scenario/sparse_sync_mpi_n600_r4",
+        kind="scenario",
+        scenario=_sparse(600, "sync_mpi", 4),
+        tags=(QUICK,),
+    ),
+    BenchCase(
+        name="scenario/sparse_pm2_n1200_r8",
+        kind="scenario",
+        scenario=_sparse(1200, "pm2", 8),
+    ),
+    BenchCase(
+        name="scenario/chemical_pm2_r4",
+        kind="scenario",
+        scenario={"problem": "chemical", "environment": "pm2", "n_ranks": 4, "seed": 42},
+    ),
+    BenchCase(
+        name="scenario/sparse_threaded_r4",
+        kind="scenario",
+        scenario=_sparse(600, "pm2", 4),
+        backend="threaded",
+        deterministic_counters=False,  # real threads: iteration counts vary
+    ),
+    # -- hot-path kernels ----------------------------------------------
+    BenchCase(
+        name="kernel/sparse_matvec",
+        kind="kernel",
+        kernel="sparse_matvec",
+        tags=(QUICK,),
+    ),
+    BenchCase(
+        name="kernel/sparse_row_block_matvec",
+        kind="kernel",
+        kernel="sparse_row_block_matvec",
+        tags=(QUICK,),
+    ),
+    BenchCase(
+        name="kernel/csr_matvec",
+        kind="kernel",
+        kernel="csr_matvec",
+    ),
+    BenchCase(
+        name="kernel/engine_dispatch",
+        kind="kernel",
+        kernel="engine_dispatch",
+        tags=(QUICK,),
+    ),
+    BenchCase(
+        name="kernel/norms_residual",
+        kind="kernel",
+        kernel="norms_residual",
+        tags=(QUICK,),
+    ),
+    BenchCase(
+        name="kernel/channel_post_drain",
+        kind="kernel",
+        kernel="channel_post_drain",
+        tags=(QUICK,),
+    ),
+]
+
+
+def quick_suite() -> List[BenchCase]:
+    """The smoke-tier subset (cases tagged :data:`QUICK`)."""
+    return [case for case in DEFAULT_SUITE if QUICK in case.tags]
+
+
+def select_cases(
+    quick: bool = False, pattern: Optional[str] = None
+) -> List[BenchCase]:
+    """Resolve the cases a bench run executes.
+
+    ``quick`` keeps only the smoke tier; ``pattern`` additionally keeps
+    cases whose name contains the substring (case-insensitive)::
+
+        select_cases(pattern="matvec")   # the two DIA kernels + CSR
+    """
+    cases = quick_suite() if quick else list(DEFAULT_SUITE)
+    if pattern:
+        needle = pattern.lower()
+        cases = [case for case in cases if needle in case.name.lower()]
+    return cases
+
+
+__all__ = ["BenchCase", "DEFAULT_SUITE", "QUICK", "quick_suite", "select_cases"]

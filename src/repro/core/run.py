@@ -106,7 +106,13 @@ def simulate(
         ``simulate`` is the legacy positional front door, kept for
         backwards compatibility.  New code should describe the run as a
         :class:`repro.api.Scenario` and execute it through
-        :class:`repro.api.SimulatedBackend`, which wraps this function.
+        :class:`repro.api.SimulatedBackend` (or
+        :func:`repro.api.run_scenario`), which wraps this function::
+
+            from repro.api import Scenario, run_scenario
+            result = run_scenario(Scenario(problem="sparse_linear", n_ranks=4))
+
+        See ``docs/scenarios.md`` and ``docs/backends.md``.
 
     Parameters
     ----------

@@ -16,11 +16,15 @@ import numpy as np
 
 
 def max_norm(x: np.ndarray) -> float:
-    """``||x||_inf``; 0.0 for empty vectors."""
+    """``||x||_inf``; 0.0 for empty vectors.
+
+    Computed as ``max(max(x), -min(x))`` -- two C-level reductions, no
+    ``|x|`` temporary (this runs every solver iteration).
+    """
     x = np.asarray(x)
     if x.size == 0:
         return 0.0
-    return float(np.max(np.abs(x)))
+    return float(max(np.max(x), -np.min(x)))
 
 
 def max_norm_diff(x: np.ndarray, y: np.ndarray) -> float:
@@ -31,7 +35,9 @@ def max_norm_diff(x: np.ndarray, y: np.ndarray) -> float:
         raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
     if x.size == 0:
         return 0.0
-    return float(np.max(np.abs(x - y)))
+    diff = x - y
+    # max |d| == max(max(d), -min(d)): avoids materializing |d|.
+    return float(max(np.max(diff), -np.min(diff)))
 
 
 def error_weights(y: np.ndarray, rtol: float, atol: float | np.ndarray) -> np.ndarray:
@@ -50,7 +56,8 @@ def weighted_rms(x: np.ndarray, weights: np.ndarray) -> float:
     if x.size == 0:
         return 0.0
     scaled = x * weights
-    return float(np.sqrt(np.mean(scaled * scaled)))
+    # dot(s, s) is a single BLAS reduction; no squared temporary.
+    return float(np.sqrt(np.dot(scaled, scaled) / scaled.size))
 
 
 def relative_max_norm_diff(x: np.ndarray, y: np.ndarray, floor: float = 1.0) -> float:
@@ -65,8 +72,12 @@ def relative_max_norm_diff(x: np.ndarray, y: np.ndarray, floor: float = 1.0) -> 
         raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
     if x.size == 0:
         return 0.0
-    denom = np.maximum(np.abs(y), floor)
-    return float(np.max(np.abs(x - y) / denom))
+    diff = x - y
+    np.abs(diff, out=diff)
+    denom = np.abs(y)
+    np.maximum(denom, floor, out=denom)
+    diff /= denom
+    return float(np.max(diff))
 
 
 __all__ = [

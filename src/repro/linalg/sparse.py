@@ -5,8 +5,12 @@ Two layouts are provided:
 * :class:`MultiDiagonalMatrix` -- the structure used by the paper's
   sparse linear problem ("repartition of non-zero values: 30
   sub-diagonals", Table 1).  Diagonals are stored densely (DIA layout)
-  and the mat-vec is fully vectorised.  Row-block products against a
-  global vector support the row-wise decomposition of Section 4.3.
+  and the mat-vec is fully vectorised *across diagonals*: a lazily
+  built ``(n_diagonals, n)`` column-index table turns the whole
+  product into one gather + one ``einsum``, with no per-diagonal
+  Python loop (see ``kernel/sparse_matvec`` in :mod:`repro.bench`).
+  Row-block products against a global vector support the row-wise
+  decomposition of Section 4.3.
 * :class:`CSRMatrix` -- a general compressed-sparse-row matrix used as
   a fallback and as an independent implementation to cross-check the
   DIA code in tests.
@@ -72,9 +76,40 @@ class MultiDiagonalMatrix:
             # ``data`` rows must follow the sorted offset order.
             order = np.argsort(offsets)
             self.data = data[order].copy()
+            # Enforce the documented contract: positions outside the
+            # matrix are kept as zeros.
+            for idx, k in enumerate(self.offsets):
+                lo, hi = self._valid_range(int(k))
+                self.data[idx, :lo] = 0.0
+                self.data[idx, hi:] = 0.0
         self._offset_index: Dict[int, int] = {
             int(k): i for i, k in enumerate(self.offsets)
         }
+        self._col_index: np.ndarray | None = None
+
+    def _column_index(self) -> np.ndarray:
+        """``(n_diagonals, n)`` gather table: row ``i`` of diagonal ``d``
+        reads ``x[i + offsets[d]]``.
+
+        Out-of-matrix positions point at the sentinel slot ``n`` of the
+        zero-padded vector built by :meth:`_padded`, so they gather an
+        exact ``0.0`` -- never an arbitrary ``x`` entry (whose ``inf``
+        or ``NaN`` would otherwise poison the row through ``0 * inf``).
+        Built lazily on the first product so construction-only uses
+        never pay for it.
+        """
+        if self._col_index is None:
+            index = np.arange(self.n)[None, :] + self.offsets[:, None]
+            np.copyto(index, self.n, where=(index < 0) | (index >= self.n))
+            self._col_index = index
+        return self._col_index
+
+    def _padded(self, x: np.ndarray) -> np.ndarray:
+        """``x`` with one trailing ``0.0`` sentinel slot appended."""
+        padded = np.empty(self.n + 1, dtype=float)
+        padded[: self.n] = x
+        padded[self.n] = 0.0
+        return padded
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -116,32 +151,29 @@ class MultiDiagonalMatrix:
         x = np.asarray(x, dtype=float)
         if x.shape != (self.n,):
             raise ValueError(f"vector length {x.shape} != ({self.n},)")
-        y = np.zeros(self.n, dtype=float)
-        for idx, k in enumerate(self.offsets):
-            k = int(k)
-            lo, hi = self._valid_range(k)
-            y[lo:hi] += self.data[idx, lo:hi] * x[lo + k : hi + k]
-        return y
+        if not len(self.offsets):
+            return np.zeros(self.n, dtype=float)
+        # One gather + one fused multiply-sum across all diagonals;
+        # out-of-matrix positions gather the sentinel zero (see
+        # ``_column_index``).
+        return np.einsum("ij,ij->j", self.data, self._padded(x)[self._column_index()])
 
     def row_block_matvec(self, lo: int, hi: int, x: np.ndarray) -> np.ndarray:
         """``(A x)[lo:hi]`` using the *global* vector ``x``.
 
         This is the local computation of a processor owning rows
         ``[lo, hi)`` in the row-wise decomposition of Section 4.3: it
-        only reads the entries of ``x`` its dependency list provides.
+        only reads the entries of ``x`` its dependency list provides
+        (gathers outside the dependency ranges hit the sentinel zero,
+        never an ``x`` entry).
         """
         x = np.asarray(x, dtype=float)
         if not 0 <= lo <= hi <= self.n:
             raise ValueError(f"bad row range [{lo}, {hi})")
-        y = np.zeros(hi - lo, dtype=float)
-        for idx, k in enumerate(self.offsets):
-            k = int(k)
-            vlo, vhi = self._valid_range(k)
-            rlo, rhi = max(lo, vlo), min(hi, vhi)
-            if rlo >= rhi:
-                continue
-            y[rlo - lo : rhi - lo] += self.data[idx, rlo:rhi] * x[rlo + k : rhi + k]
-        return y
+        if hi == lo or not len(self.offsets):
+            return np.zeros(hi - lo, dtype=float)
+        cols = self._column_index()[:, lo:hi]
+        return np.einsum("ij,ij->j", self.data[:, lo:hi], self._padded(x)[cols])
 
     def column_dependencies(self, lo: int, hi: int) -> List[Tuple[int, int]]:
         """Global column ranges read by rows ``[lo, hi)``, one per diagonal."""
@@ -214,6 +246,11 @@ class CSRMatrix:
             raise ValueError("indices/data length mismatch")
         if len(self.indices) and (self.indices.min() < 0 or self.indices.max() >= n_cols):
             raise ValueError("column index out of range")
+        # Row id of every stored value, precomputed once: the mat-vec
+        # reduces products per row with one C-level bincount.
+        self._row_ids = np.repeat(
+            np.arange(n_rows, dtype=np.int64), np.diff(self.indptr).astype(np.int64)
+        )
 
     @classmethod
     def from_coo(
@@ -259,14 +296,15 @@ class CSRMatrix:
         x = np.asarray(x, dtype=float)
         if x.shape != (self.n_cols,):
             raise ValueError(f"vector length {x.shape} != ({self.n_cols},)")
+        if not len(self.data):
+            # bincount with empty weights would return int64 zeros.
+            return np.zeros(self.n_rows, dtype=float)
         products = self.data * x[self.indices]
-        out = np.zeros(self.n_rows, dtype=float)
-        # reduceat misbehaves on empty rows; use add.at on row ids instead.
-        row_ids = np.repeat(
-            np.arange(self.n_rows), np.diff(self.indptr).astype(np.int64)
+        # reduceat misbehaves on empty rows; bincount over precomputed
+        # row ids handles them and runs entirely in C.
+        return np.bincount(
+            self._row_ids, weights=products, minlength=self.n_rows
         )
-        np.add.at(out, row_ids, products)
-        return out
 
     def to_dense(self) -> np.ndarray:
         dense = np.zeros((self.n_rows, self.n_cols), dtype=float)

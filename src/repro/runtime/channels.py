@@ -4,16 +4,37 @@ One :class:`ChannelHub` serves a whole run: per-rank, per-tag queues of
 :class:`~repro.simgrid.message.Message`, with blocking receive
 (condition variables) and non-blocking drain -- the thread-backed
 equivalents of the simulator's mailbox semantics.
+
+Performance notes (``kernel/channel_post_drain`` in
+:mod:`repro.bench`):
+
+* each rank has its *own* lock/condition, so senders to different
+  destinations never contend with each other (the old single hub lock
+  serialised every post of the whole run);
+* drains hand over the queue list itself instead of copy-then-clear,
+  and posts notify only when someone is actually waiting, cutting the
+  per-message allocation and wakeup overhead.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from repro.simgrid.message import Message
+from repro.simgrid.message import Message, drain_tagged
+
+
+class _RankBox:
+    """One rank's mailbox: per-tag queues behind the rank's own lock."""
+
+    __slots__ = ("condition", "by_tag", "received", "waiters")
+
+    def __init__(self) -> None:
+        self.condition = threading.Condition(threading.Lock())
+        self.by_tag: Dict[str, List[Message]] = {}
+        self.received = 0
+        self.waiters = 0
 
 
 class ChannelHub:
@@ -23,42 +44,38 @@ class ChannelHub:
         if size < 1:
             raise ValueError("size must be >= 1")
         self.size = size
-        self._lock = threading.Lock()
-        self._conditions = [threading.Condition(self._lock) for _ in range(size)]
-        self._boxes: List[Dict[str, List[Message]]] = [
-            defaultdict(list) for _ in range(size)
-        ]
-        self.messages_sent = 0
+        self._boxes = [_RankBox() for _ in range(size)]
+
+    @property
+    def messages_sent(self) -> int:
+        """Total messages posted so far (sum over all ranks)."""
+        return sum(box.received for box in self._boxes)
 
     # ------------------------------------------------------------------
     def post(self, message: Message) -> None:
         """Deliver a message to its destination mailbox (thread-safe)."""
         if not 0 <= message.dst < self.size:
             raise KeyError(f"unknown destination rank {message.dst}")
-        with self._lock:
+        box = self._boxes[message.dst]
+        with box.condition:
             message.delivered_at = time.monotonic()
-            self._boxes[message.dst][message.tag].append(message)
-            self.messages_sent += 1
-            self._conditions[message.dst].notify_all()
+            queue = box.by_tag.get(message.tag)
+            if queue is None:
+                queue = box.by_tag[message.tag] = []
+            queue.append(message)
+            box.received += 1
+            if box.waiters:
+                box.condition.notify_all()
 
     def drain(self, rank: int, tag: Optional[str] = None) -> List[Message]:
         """Non-blocking removal of all visible messages for ``rank``."""
-        with self._lock:
-            return self._drain_locked(rank, tag)
-
-    def _drain_locked(self, rank: int, tag: Optional[str]) -> List[Message]:
         box = self._boxes[rank]
-        if tag is None:
-            out: List[Message] = []
-            for messages in box.values():
-                out.extend(messages)
-                messages.clear()
-            out.sort(key=lambda m: (m.delivered_at, m.uid))
-            return out
-        out = list(box.get(tag, ()))
-        if out:
-            box[tag].clear()
-        return out
+        with box.condition:
+            return self._drain_locked(box, tag)
+
+    @staticmethod
+    def _drain_locked(box: _RankBox, tag: Optional[str]) -> List[Message]:
+        return drain_tagged(box.by_tag, tag)
 
     def receive(
         self,
@@ -72,26 +89,33 @@ class ChannelHub:
         Returns all visible matching messages (empty list on timeout).
         """
         deadline = None if timeout is None else time.monotonic() + timeout
-        with self._lock:
-            condition = self._conditions[rank]
-            while self._count_locked(rank, tag) < max(1, count):
+        box = self._boxes[rank]
+        needed = max(1, count)
+        with box.condition:
+            while self._count_locked(box, tag) < needed:
                 remaining = None
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         return []
-                condition.wait(remaining)
-            return self._drain_locked(rank, tag)
+                box.waiters += 1
+                try:
+                    box.condition.wait(remaining)
+                finally:
+                    box.waiters -= 1
+            return self._drain_locked(box, tag)
 
-    def _count_locked(self, rank: int, tag: Optional[str]) -> int:
-        box = self._boxes[rank]
+    @staticmethod
+    def _count_locked(box: _RankBox, tag: Optional[str]) -> int:
         if tag is None:
-            return sum(len(v) for v in box.values())
-        return len(box.get(tag, ()))
+            return sum(len(v) for v in box.by_tag.values())
+        return len(box.by_tag.get(tag, ()))
 
     def pending(self, rank: int, tag: Optional[str] = None) -> int:
-        with self._lock:
-            return self._count_locked(rank, tag)
+        """Visible message count for ``rank`` (optionally one tag)."""
+        box = self._boxes[rank]
+        with box.condition:
+            return self._count_locked(box, tag)
 
 
 __all__ = ["ChannelHub"]

@@ -109,7 +109,14 @@ def _interpret(
             if isinstance(effect, fx.Now):
                 value = time.monotonic() - start
             elif isinstance(effect, fx.Compute):
-                value = None  # the flops already ran, in real time
+                # The flops already ran, in real time.  Yield the GIL at
+                # every iteration boundary: with vectorised kernels an
+                # iteration is far shorter than the interpreter's switch
+                # interval, and without an explicit yield one rank can
+                # spin through its whole freshness window while its
+                # peers (and their sends) never get scheduled.
+                time.sleep(0)
+                value = None
             elif isinstance(effect, fx.Sleep):
                 time.sleep(min(effect.seconds, _MAX_SLEEP))
                 value = None
@@ -153,7 +160,15 @@ def run_threaded(
         ``run_threaded`` is the legacy positional front door, kept for
         backwards compatibility.  New code should describe the run as a
         :class:`repro.api.Scenario` and execute it through
-        :class:`repro.api.ThreadedBackend`, which wraps this function.
+        :class:`repro.api.ThreadedBackend` (or
+        ``run_scenario(scenario, backend="threaded")``), which wraps
+        this function::
+
+            from repro.api import Scenario, run_scenario
+            result = run_scenario(Scenario(problem="sparse_linear", n_ranks=4),
+                                  backend="threaded")
+
+        See ``docs/scenarios.md`` and ``docs/backends.md``.
 
     Parameters
     ----------

@@ -26,11 +26,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.simgrid.effects import SendHandle
 from repro.simgrid.engine import Engine
-from repro.simgrid.message import Message
+from repro.simgrid.message import Message, drain_tagged
 from repro.simgrid.network import Network
 
 
@@ -180,7 +181,10 @@ class Mailbox:
         self.total_received = 0
 
     def deposit(self, message: Message) -> None:
-        self._by_tag.setdefault(message.tag, []).append(message)
+        queue = self._by_tag.get(message.tag)
+        if queue is None:
+            queue = self._by_tag[message.tag] = []
+        queue.append(message)
         self.total_received += 1
         if self._waiter is not None:
             waiter, self._waiter = self._waiter, None
@@ -188,17 +192,7 @@ class Mailbox:
 
     def drain(self, tag: Optional[str] = None) -> List[Message]:
         """Remove and return visible messages (oldest first)."""
-        if tag is None:
-            out: List[Message] = []
-            for msgs in self._by_tag.values():
-                out.extend(msgs)
-                msgs.clear()
-            out.sort(key=lambda m: (m.delivered_at, m.uid))
-            return out
-        msgs = self._by_tag.get(tag, [])
-        out = list(msgs)
-        msgs.clear()
-        return out
+        return drain_tagged(self._by_tag, tag)
 
     def peek_count(self, tag: Optional[str] = None) -> int:
         if tag is None:
@@ -258,13 +252,15 @@ class Transport:
         the destination host, the receive path starts; when *that*
         completes the message becomes visible in the mailbox.
         """
-        if message.dst not in self.rank_to_host:
+        rank_to_host = self.rank_to_host
+        if message.dst not in rank_to_host:
             raise KeyError(f"unknown destination rank {message.dst}")
         self.messages_sent += 1
         self.bytes_sent += message.size
-        message.sent_at = self.engine.now
+        engine = self.engine
+        message.sent_at = engine.now
         route = self.network.route(
-            self.rank_to_host[message.src], self.rank_to_host[message.dst]
+            rank_to_host[message.src], rank_to_host[message.dst]
         )
         pool = self._send_pools[message.src]
         sw_time = self.policy.send_sw_time(message.size)
@@ -290,13 +286,13 @@ class Transport:
                 handle.release_sender(now)
             # Delivery (and hence the skip-send gate) happens when the
             # last byte reaches the destination host.
-            self.engine.at(arrival, lambda: self._deliver(message, handle), label="arrive")
+            engine.at(arrival, partial(self._deliver, message, handle), label="arrive")
 
         def pool_hold(hold: float) -> None:
             if isinstance(pool, ThreadPoolModel):
-                pool.hold(hold, lambda t: handle.release_sender(t))
+                pool.hold(hold, handle.release_sender)
             else:
-                self.engine.after(hold, lambda: handle.release_sender(self.engine.now))
+                engine.after(hold, lambda: handle.release_sender(engine.now))
 
         pool.submit(sw_time, after_software)
 

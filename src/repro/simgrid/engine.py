@@ -5,6 +5,19 @@ broken by a monotonically increasing sequence number so that runs are
 fully deterministic: two events scheduled for the same virtual time fire
 in scheduling order.  All of the simulation (hosts, links, thread pools,
 processes) is driven by callbacks registered here.
+
+Performance notes (this is the simulator's hottest loop; see
+``kernel/engine_dispatch`` in :mod:`repro.bench`):
+
+* heap entries are plain ``(time, seq, event)`` tuples, so every heap
+  comparison happens in C instead of a Python ``__lt__``;
+* :class:`Event` is a ``__slots__`` class (no per-event ``__dict__``);
+* :meth:`Engine.run` is specialized per limit combination: the
+  unlimited loop and the ``stop_when``-only loop (what
+  :meth:`repro.simgrid.world.World.run` uses) pop and dispatch
+  directly -- same-timestamp groups run back to back with no peeking
+  and no ``until``/``max_events`` re-checks; only runs that actually
+  set ``until``/``max_events`` pay for those tests per event.
 """
 
 from __future__ import annotations
@@ -12,31 +25,57 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
     """Raised for inconsistencies detected by the simulation engine."""
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, seq)`` which makes the heap ordering --
-    and therefore the whole simulation -- deterministic.
+    Events order by ``(time, seq)`` which makes the heap ordering --
+    and therefore the whole simulation -- deterministic.  (The heap
+    itself stores ``(time, seq, event)`` tuples so ordering never calls
+    back into Python; ``__lt__`` is kept for explicit comparisons.)
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        cancelled: bool = False,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = cancelled
+        self.label = label
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.time, self.seq) == (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time:.6f}, seq={self.seq}{state}, label={self.label!r})"
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
         self.cancelled = True
+
+
+#: Heap entry type: ``(time, seq, event)``.
+_Entry = Tuple[float, int, Event]
 
 
 class Engine:
@@ -50,7 +89,7 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: list[Event] = []
+        self._queue: List[_Entry] = []
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
@@ -83,16 +122,18 @@ class Engine:
         """
         if not math.isfinite(time):
             raise SimulationError(f"non-finite event time: {time!r}")
+        now = self._now
         # Guard against floating-point noise: clamp tiny negative deltas.
-        if time < self._now:
-            if self._now - time < 1e-12 * max(1.0, abs(self._now)):
-                time = self._now
+        if time < now:
+            if now - time < 1e-12 * max(1.0, abs(now)):
+                time = now
             else:
                 raise SimulationError(
-                    f"cannot schedule event at {time} before now={self._now}"
+                    f"cannot schedule event at {time} before now={now}"
                 )
-        event = Event(time=time, seq=next(self._seq), callback=callback, label=label)
-        heapq.heappush(self._queue, event)
+        seq = next(self._seq)
+        event = Event(time, seq, callback, False, label)
+        heapq.heappush(self._queue, (time, seq, event))
         return event
 
     def after(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
@@ -109,15 +150,16 @@ class Engine:
 
         Returns ``False`` when the queue is exhausted.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _seq, event = heapq.heappop(queue)
             if event.cancelled:
                 continue
-            if event.time < self._now:
+            if time < self._now:
                 raise SimulationError(
-                    f"causality violation: event at {event.time} < now {self._now}"
+                    f"causality violation: event at {time} < now {self._now}"
                 )
-            self._now = event.time
+            self._now = time
             self._events_processed += 1
             event.callback()
             return True
@@ -148,19 +190,48 @@ class Engine:
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
+        queue = self._queue
+        heappop = heapq.heappop
         processed = 0
         try:
-            while self._queue:
-                if until is not None:
-                    head = self._peek()
-                    if head is None:
+            if until is None and max_events is None:
+                if stop_when is None:
+                    # Hot path: no limits.  One tight loop, locals
+                    # bound, same-timestamp events dispatched back to
+                    # back without re-reading any engine state beyond
+                    # the queue head.
+                    while queue:
+                        time, _seq, event = heappop(queue)
+                        if event.cancelled:
+                            continue
+                        self._now = time
+                        processed += 1
+                        event.callback()
+                    return self._now
+                # The World.run path: only a stop predicate, checked
+                # after every event (a failure must halt immediately),
+                # but no peeking and no until/max_events tests.
+                while queue:
+                    time, _seq, event = heappop(queue)
+                    if event.cancelled:
+                        continue
+                    self._now = time
+                    processed += 1
+                    event.callback()
+                    if stop_when():
                         break
-                    if head.time > until:
-                        self._now = until
-                        break
-                if not self.step():
+                return self._now
+            while queue:
+                head = self._peek()
+                if head is None:
                     break
+                if until is not None and head.time > until:
+                    self._now = until
+                    break
+                time, _seq, event = heappop(queue)
+                self._now = time
                 processed += 1
+                event.callback()
                 if stop_when is not None and stop_when():
                     break
                 if max_events is not None and processed >= max_events:
@@ -168,14 +239,16 @@ class Engine:
                         f"exceeded max_events={max_events}; "
                         "simulation appears to be diverging"
                     )
+            return self._now
         finally:
+            self._events_processed += processed
             self._running = False
-        return self._now
 
     def _peek(self) -> Optional[Event]:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0] if self._queue else None
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+        return queue[0][2] if queue else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

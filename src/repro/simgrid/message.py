@@ -4,9 +4,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any
+from operator import attrgetter
+from typing import Any, Dict, List, Optional
 
 _MESSAGE_IDS = itertools.count()
+
+#: Merge order when draining across tags: visibility time, then uid.
+DELIVERY_ORDER = attrgetter("delivered_at", "uid")
 
 
 @dataclass
@@ -49,4 +53,43 @@ class Message:
         )
 
 
-__all__ = ["Message"]
+def drain_tagged(
+    by_tag: Dict[str, List["Message"]], tag: Optional[str] = None
+) -> List["Message"]:
+    """Remove and return visible messages from a per-tag queue dict.
+
+    The one merge algorithm behind both mailbox flavours (the
+    simulator's :class:`repro.simgrid.comm.Mailbox` and the thread
+    backend's :class:`repro.runtime.channels.ChannelHub`): with a
+    ``tag``, hand over that queue in deposit order; without one, merge
+    every non-empty queue in :data:`DELIVERY_ORDER` (sorted even for a
+    single queue -- deposit order and uid order can differ when
+    transports deliver at equal times).  Queues are handed over
+    (replaced by fresh lists) rather than copied -- callers own the
+    result, and per-message allocation stays minimal.  Not thread-safe;
+    callers hold their own locks.
+    """
+    if tag is None:
+        non_empty = [(key, messages) for key, messages in by_tag.items() if messages]
+        if not non_empty:
+            return []
+        if len(non_empty) == 1:
+            key, messages = non_empty[0]
+            by_tag[key] = []
+            # Near-sorted already: timsort makes this ~O(n).
+            messages.sort(key=DELIVERY_ORDER)
+            return messages
+        out: List[Message] = []
+        for key, messages in non_empty:
+            out.extend(messages)
+            by_tag[key] = []
+        out.sort(key=DELIVERY_ORDER)
+        return out
+    messages = by_tag.get(tag)
+    if not messages:
+        return []
+    by_tag[tag] = []
+    return messages
+
+
+__all__ = ["Message", "DELIVERY_ORDER", "drain_tagged"]

@@ -1,0 +1,192 @@
+"""Tests for the benchmark harness (schema, determinism, comparison)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_SUITE,
+    KERNELS,
+    BenchCase,
+    compare_payloads,
+    load_bench,
+    next_bench_path,
+    quick_suite,
+    run_case,
+    run_suite,
+    select_cases,
+    validate_payload,
+    write_bench,
+)
+from repro.cli import main as cli_main
+
+#: Small, fast cases used throughout (full-suite timing is CI's job).
+FAST_SCENARIO = BenchCase(
+    name="scenario/tiny",
+    kind="scenario",
+    scenario={"problem": "sparse_linear", "problem_params": {"n": 120},
+              "environment": "pm2", "n_ranks": 2, "seed": 7},
+)
+FAST_KERNEL = BenchCase(name="kernel/channels", kind="kernel",
+                        kernel="channel_post_drain")
+
+
+# ----------------------------------------------------------------------
+# suite hygiene
+# ----------------------------------------------------------------------
+def test_suite_names_unique_and_kernels_exist():
+    names = [case.name for case in DEFAULT_SUITE]
+    assert len(names) == len(set(names))
+    for case in DEFAULT_SUITE:
+        if case.kind == "kernel":
+            assert case.kernel in KERNELS
+    assert quick_suite()  # the smoke tier is non-empty
+    assert all(case in DEFAULT_SUITE for case in quick_suite())
+
+
+def test_select_cases_filters_by_substring():
+    matvec = select_cases(pattern="matvec")
+    assert matvec and all("matvec" in case.name for case in matvec)
+    assert select_cases(quick=True, pattern="no-such-case") == []
+
+
+def test_bench_case_validation():
+    with pytest.raises(ValueError):
+        BenchCase(name="x", kind="nonsense")
+    with pytest.raises(ValueError):
+        BenchCase(name="x", kind="scenario")  # no scenario dict
+    with pytest.raises(ValueError):
+        BenchCase(name="x", kind="kernel")  # no kernel name
+
+
+# ----------------------------------------------------------------------
+# schema validity of emitted JSON
+# ----------------------------------------------------------------------
+def test_emitted_payload_is_schema_valid(tmp_path):
+    payload = run_suite([FAST_SCENARIO, FAST_KERNEL], repeats=2)
+    assert validate_payload(payload) == []
+    path = write_bench(payload, directory=tmp_path)
+    assert path.name == "BENCH_0.json"
+    reloaded = load_bench(path)
+    assert reloaded["cases"][0]["name"] == "scenario/tiny"
+    # Numbering continues from existing files.
+    assert next_bench_path(tmp_path).name == "BENCH_1.json"
+    # The emitted file is plain JSON all the way down.
+    json.dumps(reloaded)
+
+
+def test_validate_payload_rejects_malformed():
+    payload = run_suite([FAST_KERNEL], repeats=1)
+    bad = copy.deepcopy(payload)
+    bad["schema_version"] = 999
+    del bad["cases"][0]["median_s"]
+    bad["cases"][0]["timings_s"] = [1.0, 2.0]  # length != repeats
+    errors = validate_payload(bad)
+    assert any("schema_version" in e for e in errors)
+    assert any("median_s" in e for e in errors)
+    assert any("timings_s" in e for e in errors)
+    with pytest.raises(ValueError):
+        write_bench(bad, directory=".")
+
+
+def test_environment_fingerprint_recorded():
+    payload = run_suite([FAST_KERNEL], repeats=1)
+    env = payload["environment"]
+    for key in ("python", "numpy", "platform", "machine", "cpu_count"):
+        assert key in env
+
+
+# ----------------------------------------------------------------------
+# determinism of counters across runs
+# ----------------------------------------------------------------------
+def test_scenario_counters_deterministic_across_two_runs():
+    first = run_case(FAST_SCENARIO, repeats=2)
+    second = run_case(FAST_SCENARIO, repeats=2)
+    assert first["counters_deterministic"] is True
+    assert second["counters_deterministic"] is True
+    assert first["counters"] == second["counters"]
+    assert first["counters"]["events"] > 0
+    assert first["counters"]["total_iterations"] > 0
+
+
+def test_kernel_counters_deterministic_across_two_runs():
+    first = run_case(FAST_KERNEL, repeats=2)
+    second = run_case(FAST_KERNEL, repeats=2)
+    assert first["counters_deterministic"] is True
+    assert first["counters"] == second["counters"]
+
+
+# ----------------------------------------------------------------------
+# --compare regression detection
+# ----------------------------------------------------------------------
+def _payload_with(medians):
+    """A minimal schema-valid payload with given case medians."""
+    return {
+        "schema_version": 1,
+        "repeats": 3,
+        "environment": {"python": "3", "numpy": "1", "platform": "p",
+                        "machine": "m", "cpu_count": 1, "git_rev": None},
+        "cases": [
+            {"name": name, "kind": "kernel", "repeats": 3,
+             "timings_s": [m, m, m], "median_s": m, "min_s": m,
+             "counters": {"work": 1}, "counters_deterministic": True}
+            for name, m in medians.items()
+        ],
+    }
+
+
+def test_compare_detects_synthetic_slowdown():
+    baseline = _payload_with({"kernel/a": 0.010, "kernel/b": 0.010})
+    current = _payload_with({"kernel/a": 0.030, "kernel/b": 0.010})  # a: 3x slower
+    report = compare_payloads(baseline, current, threshold=1.25)
+    by_name = {row.name: row for row in report.rows}
+    assert by_name["kernel/a"].status == "regression"
+    assert by_name["kernel/b"].status == "ok"
+    assert report.regressions and report.regressions[0].name == "kernel/a"
+    assert by_name["kernel/a"].speedup == pytest.approx(1 / 3, rel=1e-6)
+    assert "regression" in report.format()
+
+
+def test_compare_classifies_improvement_added_removed():
+    baseline = _payload_with({"kernel/a": 0.030, "kernel/gone": 0.010})
+    current = _payload_with({"kernel/a": 0.010, "kernel/new": 0.010})
+    report = compare_payloads(baseline, current)
+    by_name = {row.name: row for row in report.rows}
+    assert by_name["kernel/a"].status == "improved"
+    assert by_name["kernel/gone"].status == "removed"
+    assert by_name["kernel/new"].status == "added"
+    with pytest.raises(ValueError):
+        compare_payloads(baseline, current, threshold=1.0)
+
+
+# ----------------------------------------------------------------------
+# CLI: repro bench end to end
+# ----------------------------------------------------------------------
+def test_cli_bench_writes_valid_file(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    status = cli_main(["bench", "--filter", "channel_post_drain",
+                       "--repeats", "2", "--output", str(out)])
+    assert status == 0
+    assert validate_payload(load_bench(out)) == []
+    assert "channel_post_drain" in capsys.readouterr().out
+
+
+def test_cli_bench_compare_exits_3_on_regression(tmp_path, capsys):
+    # A baseline claiming the kernel once ran in 1 microsecond: the
+    # fresh run cannot match it, so the gate must trip.
+    baseline = _payload_with({"kernel/channel_post_drain": 1e-6})
+    baseline_path = tmp_path / "BENCH_base.json"
+    baseline_path.write_text(json.dumps(baseline))
+    out = tmp_path / "bench.json"
+    status = cli_main(["bench", "--filter", "channel_post_drain",
+                       "--repeats", "2", "--output", str(out),
+                       "--compare", str(baseline_path)])
+    assert status == 3
+    assert "regression" in capsys.readouterr().out
+
+
+def test_cli_bench_list_and_bad_filter(capsys):
+    assert cli_main(["bench", "--list"]) == 0
+    assert "kernel/engine_dispatch" in capsys.readouterr().out
+    assert cli_main(["bench", "--filter", "zzz-no-match"]) == 2
