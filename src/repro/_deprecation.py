@@ -1,0 +1,39 @@
+"""Warn-once bookkeeping for the legacy positional front doors.
+
+``simulate`` and ``run_threaded`` predate the declarative Scenario API
+and are kept as shims.  Each shim funnels through :func:`warn_once`, so
+a process that calls a shim a thousand times (a sweep, a benchmark
+loop) still sees exactly one :class:`DeprecationWarning` per shim --
+enough to notice, not enough to drown real output.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional, Set
+
+_warned: Set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> bool:
+    """Emit ``message`` as a DeprecationWarning the first time ``key`` is seen.
+
+    Returns True when the warning was actually emitted (first call for
+    this ``key`` in this process), False on every later call.
+    """
+    if key in _warned:
+        return False
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    return True
+
+
+def reset(key: Optional[str] = None) -> None:
+    """Forget emitted warnings (test hook: re-arm the once-per-process gate)."""
+    if key is None:
+        _warned.clear()
+    else:
+        _warned.discard(key)
+
+
+__all__ = ["warn_once", "reset"]

@@ -43,6 +43,16 @@ from repro.api.backends import (
     register_backend,
     run_scenario,
 )
+from repro.api.faults import (
+    FaultPlan,
+    HostSlowdown,
+    LinkDegradation,
+    MessageDuplication,
+    MessageLoss,
+    MessageReorder,
+    RankCrash,
+    fault_kinds,
+)
 from repro.api.registry import (
     get_cluster,
     get_environment,
@@ -66,6 +76,14 @@ __all__ = [
     "scenario_matrix",
     "RunResult",
     "jsonify",
+    "FaultPlan",
+    "LinkDegradation",
+    "HostSlowdown",
+    "MessageLoss",
+    "MessageDuplication",
+    "MessageReorder",
+    "RankCrash",
+    "fault_kinds",
     "Backend",
     "SimulatedBackend",
     "ThreadedBackend",

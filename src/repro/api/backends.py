@@ -1,12 +1,18 @@
 """Execution backends: one :class:`Scenario`, two ways to run it.
 
 * :class:`SimulatedBackend` binds the scenario to the discrete-event
-  simulator (:mod:`repro.simgrid`) through the legacy
-  :func:`repro.core.run.simulate` entry point, so the shim and the
+  simulator (:mod:`repro.simgrid`) through the same machinery as the
+  legacy :func:`repro.core.run.simulate` shim, so the shim and the
   backend stay makespan-identical by construction;
 * :class:`ThreadedBackend` interprets the same worker coroutines on
   real Python threads (:mod:`repro.runtime`), validating protocol
   correctness outside the simulation.
+
+A scenario's :class:`~repro.api.faults.FaultPlan` is compiled here:
+the simulated backend installs every fault kind on the
+``World``/``Network``/``Link`` layer, the threaded backend honours the
+loss/duplication/reorder/crash subset on its channel layer, and both
+report what happened through :attr:`RunResult.faults`.
 
 Both return the unified :class:`repro.api.result.RunResult`.  Backends
 are plain picklable dataclasses, addressable by name through
@@ -21,9 +27,9 @@ from typing import Any, Callable, ClassVar, List, Optional, Protocol, runtime_ch
 
 from repro.api.result import RunResult
 from repro.api.scenario import Scenario
-from repro.core.run import get_worker, simulate
+from repro.core.run import _simulate, get_worker
 from repro.registry import Registry
-from repro.runtime.executor import run_threaded
+from repro.runtime.executor import _run_threaded
 
 
 @runtime_checkable
@@ -117,8 +123,13 @@ class SimulatedBackend:
         policy = environment.comm_policy(scenario.kind, scenario.n_ranks)
         if scenario.policy_overrides:
             policy = policy.with_overrides(**scenario.policy_overrides)
+        injector = None
+        if scenario.faults is not None and not scenario.faults.is_empty:
+            from repro.simgrid.faults import SimFaultInjector
+
+            injector = SimFaultInjector(scenario.faults, default_seed=scenario.seed)
         started = time.perf_counter()
-        outcome = simulate(
+        outcome = _simulate(
             make_solver or problem.make_local,
             scenario.n_ranks,
             network,
@@ -127,6 +138,7 @@ class SimulatedBackend:
             opts=opts,
             trace=self.trace,
             max_events=self.max_events,
+            faults=injector,
         )
         return RunResult(
             makespan=outcome.makespan,
@@ -135,6 +147,7 @@ class SimulatedBackend:
             elapsed=time.perf_counter() - started,
             scenario=scenario,
             backend_stats=outcome.world.stats(),
+            faults={} if injector is None else dict(injector.counters),
             world=outcome.world,
         )
 
@@ -169,10 +182,19 @@ class ThreadedBackend:
         worker = get_worker(scenario.resolve_worker(problem))
         opts = scenario.resolved_options(problem)
         factory = make_solver or problem.make_local
-        outcome = run_threaded(
+        injector = None
+        # Only the message-level subset applies to in-process channels:
+        # a plan holding nothing but link/host windows must not pay for
+        # the fault-aware hub (its receives poll instead of blocking).
+        if scenario.faults is not None and scenario.faults.message_events():
+            from repro.runtime.faults import ThreadFaultInjector
+
+            injector = ThreadFaultInjector(scenario.faults, default_seed=scenario.seed)
+        outcome = _run_threaded(
             lambda rank, size: worker(rank, size, factory(rank, size), opts),
             scenario.n_ranks,
             timeout=self.timeout,
+            faults=injector,
         )
         return RunResult(
             makespan=outcome.elapsed,
@@ -181,6 +203,7 @@ class ThreadedBackend:
             elapsed=outcome.elapsed,
             scenario=scenario,
             backend_stats={"messages_sent": outcome.messages_sent},
+            faults=dict(outcome.faults),
         )
 
 

@@ -67,6 +67,12 @@ class RunResult:
     elapsed: float = 0.0
     scenario: Optional[Scenario] = None
     backend_stats: Dict[str, Any] = field(default_factory=dict)
+    #: Fault/recovery counters from the scenario's fault plan (empty
+    #: when the run carried none): ``messages_dropped``,
+    #: ``messages_duplicated``, ``messages_delayed``, ``crash_dropped``,
+    #: ``link_degradations``, ``host_slowdowns``, ``crashes``,
+    #: ``recoveries``.  See ``docs/testing.md``.
+    faults: Dict[str, int] = field(default_factory=dict)
     world: Optional[Any] = None
 
     # ------------------------------------------------------------------
@@ -110,6 +116,7 @@ class RunResult:
                 r: rep.iterations for r, rep in sorted(self.reports.items())
             },
             "skipped_sends": sum(r.skipped_sends for r in self.reports.values()),
+            **({"faults": dict(self.faults)} if self.faults else {}),
             **self.backend_stats,
         }
 
@@ -151,6 +158,7 @@ class RunResult:
             "max_iterations": self.max_iterations,
             "scenario": None if self.scenario is None else self.scenario.to_dict(),
             "backend_stats": jsonify(self.backend_stats),
+            "faults": {str(k): int(v) for k, v in sorted(self.faults.items())},
             "reports": report_records,
         }
 
@@ -181,6 +189,7 @@ class RunResult:
             elapsed=record.get("elapsed", 0.0),
             scenario=None if scenario is None else Scenario.from_dict(scenario),
             backend_stats=dict(record.get("backend_stats", {})),
+            faults=dict(record.get("faults", {})),
         )
 
 

@@ -16,6 +16,7 @@ import inspect
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
+from repro.api.faults import FaultPlan
 from repro.clusters import get_cluster
 from repro.core.aiac import AIACOptions
 from repro.core.run import WORKER_REGISTRY
@@ -66,7 +67,18 @@ class Scenario:
         ablation experiments (e.g. ``{"fair": False}``).
     seed:
         Forwarded to the problem factory when it accepts a ``seed``
-        parameter and ``problem_params`` does not already pin one.
+        parameter and ``problem_params`` does not already pin one; also
+        the fallback seed of the fault RNG when ``faults`` does not pin
+        its own.
+    faults:
+        Optional :class:`~repro.api.faults.FaultPlan` describing
+        adverse grid conditions (degraded links, slowed hosts, message
+        loss/duplication/reorder, rank crashes).  Compiled onto the
+        simulator by :class:`~repro.api.backends.SimulatedBackend`; the
+        loss/duplication/reorder/crash subset is also honoured by
+        :class:`~repro.api.backends.ThreadedBackend`.  A plain dict (the
+        ``FaultPlan.to_dict`` form) is accepted and coerced.  See
+        ``docs/testing.md``.
     problem_kind:
         The communication-policy kind (``"sparse_linear"`` or
         ``"chemical"``); defaults to ``problem``, override it when
@@ -99,12 +111,16 @@ class Scenario:
     options: Optional[AIACOptions] = None
     policy_overrides: Mapping[str, Any] = field(default_factory=dict)
     seed: Optional[int] = None
+    faults: Optional[FaultPlan] = None
     problem_kind: Optional[str] = None
     name: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            # Ergonomics: accept the plain-dict (JSON) form directly.
+            object.__setattr__(self, "faults", FaultPlan.from_dict(self.faults))
         if self.algorithm != "auto" and self.algorithm not in WORKER_REGISTRY:
             raise KeyError(
                 f"unknown worker {self.algorithm!r}; "
@@ -214,6 +230,7 @@ class Scenario:
             "options": None if self.options is None else asdict(self.options),
             "policy_overrides": dict(self.policy_overrides),
             "seed": self.seed,
+            "faults": None if self.faults is None else self.faults.to_dict(),
             "problem_kind": self.problem_kind,
             "name": self.name,
         }
@@ -238,6 +255,9 @@ class Scenario:
         options = payload.get("options")
         if isinstance(options, Mapping):
             payload["options"] = AIACOptions(**options)
+        faults = payload.get("faults")
+        if isinstance(faults, Mapping):
+            payload["faults"] = FaultPlan.from_dict(faults)
         return cls(**payload)
 
 

@@ -110,6 +110,52 @@ DEFAULT_SUITE: List[BenchCase] = [
         backend="threaded",
         deterministic_counters=False,  # real threads: iteration counts vary
     ),
+    # -- fault-plan scenarios (adversity is part of the ledger too) ----
+    BenchCase(
+        name="scenario/sparse_pm2_n600_r4_lossy",
+        kind="scenario",
+        scenario={
+            **_sparse(600, "pm2", 4),
+            # 8% seeded data-message loss, active the whole run: the
+            # asynchronous protocol must converge through it, and the
+            # seeded RNG keeps every counter deterministic.
+            "faults": {
+                "seed": 7,
+                "events": [{"kind": "message_loss", "probability": 0.08}],
+            },
+        },
+        tags=(QUICK,),
+    ),
+    BenchCase(
+        name="scenario/sparse_wan_degraded_uplink_r6",
+        kind="scenario",
+        scenario={
+            "problem": "sparse_linear",
+            "problem_params": {"n": 600},
+            "environment": "pm2",
+            "cluster": "ethernet_wan",
+            "cluster_params": {"n_sites": 3, "speed_scale": 0.003},
+            "n_ranks": 6,
+            "seed": 42,
+            # The fault-free run takes ~2.2 virtual seconds; mid-run the
+            # WAN uplinks collapse to 5% bandwidth for ~0.7s, then
+            # recover -- the paper's degraded-grid story as a ledger
+            # entry (degradation and recovery both land in the fault
+            # counters).
+            "faults": {
+                "seed": 11,
+                "events": [
+                    {
+                        "kind": "link_degradation",
+                        "start": 0.6,
+                        "end": 1.3,
+                        "bandwidth_factor": 0.05,
+                        "links": ["up-*"],
+                    }
+                ],
+            },
+        },
+    ),
     # -- hot-path kernels ----------------------------------------------
     BenchCase(
         name="kernel/sparse_matvec",

@@ -22,8 +22,15 @@ Installed as the ``repro`` command (see ``setup.py``); also runnable as
     is additionally checked against a baseline file and regressions
     fail the command.  See ``docs/benchmarking.md``.
 
-Exit status: 0 on success, 1 on scenario failures, 2 on bad input,
-3 on benchmark regressions.
+``repro conformance [--n N] [--seed S] [--filter SUBSTR]
+[--report PATH] [--timeout T] [--simulated-only]``
+    Generate N seeded random scenarios (fault plans included) and
+    sweep them through both backends with the invariant checkers of
+    :mod:`repro.testing`; ``--report`` writes the JSON conformance
+    report.  See ``docs/testing.md``.
+
+Exit status: 0 on success, 1 on scenario/conformance failures, 2 on
+bad input, 3 on benchmark regressions.
 """
 
 from __future__ import annotations
@@ -152,6 +159,62 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.testing import run_conformance
+
+    if args.n < 1:
+        print(f"error: --n must be >= 1, got {args.n}", file=sys.stderr)
+        return 2
+    if args.timeout <= 0:
+        print(f"error: --timeout must be > 0, got {args.timeout}", file=sys.stderr)
+        return 2
+
+    def progress(record) -> None:
+        sim = record["simulated"] or {}
+        threaded = record["threaded"]
+        threaded_mark = (
+            "-" if threaded is None else ("conv" if threaded["converged"] else "cap")
+        )
+        marker = "ok" if record["ok"] else "FAIL"
+        faults = sim.get("faults") or {}
+        fault_note = (
+            "  faults=" + ",".join(f"{k}:{v}" for k, v in sorted(faults.items()))
+            if faults else ""
+        )
+        print(
+            f"{record['name']:<52} {marker:>4}  sim {sim.get('makespan', 0):9.4f}s"
+            f"  threaded {threaded_mark:>4}{fault_note}"
+        )
+
+    report = run_conformance(
+        n=args.n,
+        seed=args.seed,
+        filter=args.filter,
+        threaded=not args.simulated_only,
+        threaded_timeout=args.timeout,
+        progress=progress,
+    )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote conformance report to {args.report}")
+    summary = report["summary"]
+    print(
+        f"{summary['scenarios']} scenario(s), {summary['faulty_scenarios']} with "
+        f"fault plans ({summary['recovered_scenarios']} observed recoveries), "
+        f"deterministic={summary['deterministic']}, "
+        f"{summary['elapsed_s']:.1f}s"
+    )
+    if not report["passed"]:
+        for failure in report["failures"]:
+            for violation in failure["violations"]:
+                print(f"error: {failure['name']}: {violation}", file=sys.stderr)
+        return 1
+    print("conformance: all invariants green")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for doc/tests)."""
     parser = argparse.ArgumentParser(
@@ -227,6 +290,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the selected cases without running them",
     )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    conformance_parser = subparsers.add_parser(
+        "conformance",
+        help="sweep seeded random scenarios through both backends and "
+        "check the protocol invariants",
+        description=(
+            "Generate N seeded random scenarios (problem size, cluster "
+            "heterogeneity, comm policy, fault plan), run each on the "
+            "simulated and threaded backends, and assert the invariants: "
+            "sound convergence detection, success implies tolerance, "
+            "deterministic work counters for a fixed seed, cross-backend "
+            "agreement. See docs/testing.md."
+        ),
+    )
+    conformance_parser.add_argument(
+        "--n", type=int, default=25, metavar="N",
+        help="number of scenarios to generate (default: 25)",
+    )
+    conformance_parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="generator seed; same seed = same scenarios (default: 0)",
+    )
+    conformance_parser.add_argument(
+        "--filter", default=None, metavar="SUBSTR",
+        help="keep only generated scenarios whose name contains this "
+        "substring (use it to reproduce one failure from a report)",
+    )
+    conformance_parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the JSON conformance report here",
+    )
+    conformance_parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="T",
+        help="per-scenario threaded-backend timeout in seconds (default: 60)",
+    )
+    conformance_parser.add_argument(
+        "--simulated-only", action="store_true",
+        help="skip the threaded backend (faster; simulator invariants only)",
+    )
+    conformance_parser.set_defaults(func=_cmd_conformance)
     return parser
 
 

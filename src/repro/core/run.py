@@ -13,6 +13,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro._deprecation import warn_once
 from repro.core.aiac import AIACOptions, WorkerReport, aiac_worker, aiac_stepped_worker
 from repro.core.sisc import sisc_worker, sisc_stepped_worker
 from repro.problems.base import LocalSolver, SteppedLocalSolver
@@ -90,6 +91,55 @@ class RunResult:
         }
 
 
+def _simulate(
+    make_solver: Callable[[int, int], LocalSolver],
+    n_ranks: int,
+    network: Network,
+    policy: CommPolicy,
+    worker: str = "aiac",
+    opts: Optional[AIACOptions] = None,
+    trace: bool = True,
+    max_events: Optional[int] = None,
+    faults: Optional[Any] = None,
+) -> RunResult:
+    """Simulate a parallel run of ``n_ranks`` workers.
+
+    The internal (non-deprecated) entry point used by
+    :class:`repro.api.SimulatedBackend`.
+
+    Parameters
+    ----------
+    make_solver:
+        ``(rank, size) -> LocalSolver`` (e.g. ``problem.make_local``).
+    worker:
+        One of ``"aiac"``, ``"sisc"``, ``"aiac_stepped"``,
+        ``"sisc_stepped"``.
+    policy:
+        The communication policy of the programming environment (from
+        :mod:`repro.envs`).
+    faults:
+        Optional :class:`repro.simgrid.faults.SimFaultInjector`
+        compiled from a scenario's fault plan.
+    """
+    if worker not in WORKERS:
+        raise ValueError(f"unknown worker {worker!r}; choose from {sorted(WORKERS)}")
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    if n_ranks > len(network.hosts):
+        raise ValueError(
+            f"{n_ranks} ranks but only {len(network.hosts)} hosts in the network"
+        )
+    worker_fn = WORKERS[worker]
+    opts = opts or AIACOptions()
+    world = World(network, policy, trace=trace, faults=faults)
+    for rank in range(n_ranks):
+        solver = make_solver(rank, n_ranks)
+        world.spawn(worker_fn(rank, n_ranks, solver, opts))
+    makespan = world.run(max_events=max_events)
+    reports = {rank: report for rank, report in world.results.items()}
+    return RunResult(makespan=makespan, reports=reports, world=world)
+
+
 def simulate(
     make_solver: Callable[[int, int], LocalSolver],
     n_ranks: int,
@@ -104,44 +154,28 @@ def simulate(
 
     .. deprecated::
         ``simulate`` is the legacy positional front door, kept for
-        backwards compatibility.  New code should describe the run as a
+        backwards compatibility; it emits one :class:`DeprecationWarning`
+        per process.  New code should describe the run as a
         :class:`repro.api.Scenario` and execute it through
         :class:`repro.api.SimulatedBackend` (or
-        :func:`repro.api.run_scenario`), which wraps this function::
+        :func:`repro.api.run_scenario`), which wraps the same
+        machinery::
 
             from repro.api import Scenario, run_scenario
             result = run_scenario(Scenario(problem="sparse_linear", n_ranks=4))
 
         See ``docs/scenarios.md`` and ``docs/backends.md``.
-
-    Parameters
-    ----------
-    make_solver:
-        ``(rank, size) -> LocalSolver`` (e.g. ``problem.make_local``).
-    worker:
-        One of ``"aiac"``, ``"sisc"``, ``"aiac_stepped"``,
-        ``"sisc_stepped"``.
-    policy:
-        The communication policy of the programming environment (from
-        :mod:`repro.envs`).
     """
-    if worker not in WORKERS:
-        raise ValueError(f"unknown worker {worker!r}; choose from {sorted(WORKERS)}")
-    if n_ranks < 1:
-        raise ValueError("n_ranks must be >= 1")
-    if n_ranks > len(network.hosts):
-        raise ValueError(
-            f"{n_ranks} ranks but only {len(network.hosts)} hosts in the network"
-        )
-    worker_fn = WORKERS[worker]
-    opts = opts or AIACOptions()
-    world = World(network, policy, trace=trace)
-    for rank in range(n_ranks):
-        solver = make_solver(rank, n_ranks)
-        world.spawn(worker_fn(rank, n_ranks, solver, opts))
-    makespan = world.run(max_events=max_events)
-    reports = {rank: report for rank, report in world.results.items()}
-    return RunResult(makespan=makespan, reports=reports, world=world)
+    warn_once(
+        "repro.core.run.simulate",
+        "simulate() is deprecated; describe the run as a repro.api.Scenario "
+        "and execute it with SimulatedBackend / run_scenario(scenario) "
+        "(docs/backends.md)",
+    )
+    return _simulate(
+        make_solver, n_ranks, network, policy,
+        worker=worker, opts=opts, trace=trace, max_events=max_events,
+    )
 
 
 __all__ = [

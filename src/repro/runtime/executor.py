@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional
 
 import numpy as np
 
+from repro._deprecation import warn_once
 from repro.simgrid import effects as fx
 from repro.simgrid.message import Message
 
@@ -50,6 +51,9 @@ class ThreadRunResult:
     results: Dict[int, Any]
     elapsed: float
     messages_sent: int
+    #: Fault counters observed by the channel layer (empty when the run
+    #: carried no fault plan); see ``repro.runtime.faults``.
+    faults: Dict[str, int] = field(default_factory=dict)
 
     @property
     def reports(self) -> Dict[int, Any]:
@@ -76,7 +80,7 @@ class ThreadRunResult:
         return np.concatenate(parts)
 
     def stats(self) -> dict:
-        return {
+        summary = {
             "elapsed": self.elapsed,
             "messages_sent": self.messages_sent,
             "converged": self.converged,
@@ -87,6 +91,9 @@ class ThreadRunResult:
                 r.skipped_sends for r in self.results.values()
             ),
         }
+        if self.faults:
+            summary["faults"] = dict(self.faults)
+        return summary
 
 
 def _interpret(
@@ -149,26 +156,16 @@ def _interpret(
         errors[rank] = exc
 
 
-def run_threaded(
+def _run_threaded(
     make_coroutine: Callable[[int, int], Generator],
     n_ranks: int,
     timeout: float = 120.0,
+    faults: Optional[Any] = None,
 ) -> ThreadRunResult:
     """Execute ``n_ranks`` worker coroutines on real threads.
 
-    .. deprecated::
-        ``run_threaded`` is the legacy positional front door, kept for
-        backwards compatibility.  New code should describe the run as a
-        :class:`repro.api.Scenario` and execute it through
-        :class:`repro.api.ThreadedBackend` (or
-        ``run_scenario(scenario, backend="threaded")``), which wraps
-        this function::
-
-            from repro.api import Scenario, run_scenario
-            result = run_scenario(Scenario(problem="sparse_linear", n_ranks=4),
-                                  backend="threaded")
-
-        See ``docs/scenarios.md`` and ``docs/backends.md``.
+    The internal (non-deprecated) entry point used by
+    :class:`repro.api.ThreadedBackend`.
 
     Parameters
     ----------
@@ -179,12 +176,22 @@ def run_threaded(
     timeout:
         Join timeout per thread; a hang raises instead of deadlocking
         the test suite.
+    faults:
+        Optional :class:`repro.runtime.faults.ThreadFaultInjector`; the
+        run's channels then honour the plan's loss/duplication/reorder/
+        crash subset.
     """
     from repro.runtime.channels import ChannelHub
 
     if n_ranks < 1:
         raise ValueError("n_ranks must be >= 1")
-    hub = ChannelHub(n_ranks)
+    if faults is not None:
+        from repro.runtime.faults import FaultyChannelHub
+
+        faults.start()
+        hub = FaultyChannelHub(n_ranks, faults)
+    else:
+        hub = ChannelHub(n_ranks)
     barrier = threading.Barrier(n_ranks)
     results: Dict[int, Any] = {}
     errors: Dict[int, BaseException] = {}
@@ -208,9 +215,45 @@ def run_threaded(
     if errors:
         rank, exc = sorted(errors.items())[0]
         raise ThreadWorkerError(f"rank {rank} failed: {exc!r}") from exc
+    fault_counters: Dict[str, int] = {}
+    if faults is not None:
+        faults.finish()
+        fault_counters = dict(faults.counters)
     return ThreadRunResult(
-        results=results, elapsed=elapsed, messages_sent=hub.messages_sent
+        results=results, elapsed=elapsed, messages_sent=hub.messages_sent,
+        faults=fault_counters,
     )
+
+
+def run_threaded(
+    make_coroutine: Callable[[int, int], Generator],
+    n_ranks: int,
+    timeout: float = 120.0,
+) -> ThreadRunResult:
+    """Execute ``n_ranks`` worker coroutines on real threads.
+
+    .. deprecated::
+        ``run_threaded`` is the legacy positional front door, kept for
+        backwards compatibility; it emits one :class:`DeprecationWarning`
+        per process.  New code should describe the run as a
+        :class:`repro.api.Scenario` and execute it through
+        :class:`repro.api.ThreadedBackend` (or
+        ``run_scenario(scenario, backend="threaded")``), which wraps
+        the same machinery::
+
+            from repro.api import Scenario, run_scenario
+            result = run_scenario(Scenario(problem="sparse_linear", n_ranks=4),
+                                  backend="threaded")
+
+        See ``docs/scenarios.md`` and ``docs/backends.md``.
+    """
+    warn_once(
+        "repro.runtime.run_threaded",
+        "run_threaded() is deprecated; describe the run as a "
+        "repro.api.Scenario and execute it with ThreadedBackend / "
+        "run_scenario(scenario, backend='threaded') (docs/backends.md)",
+    )
+    return _run_threaded(make_coroutine, n_ranks, timeout=timeout)
 
 
 __all__ = ["run_threaded", "ThreadRunResult", "ThreadWorkerError"]

@@ -1,0 +1,188 @@
+"""Fault injection for the real-thread backend: the channel-layer subset.
+
+The thread backend has no links or simulated hosts, but the
+loss/duplication/reorder/crash subset of a
+:class:`~repro.api.faults.FaultPlan` is meaningful on its channel
+layer, and honouring it there keeps both interpreters of the algorithm
+coroutines facing the same adversity:
+
+* :class:`ThreadFaultInjector` makes the per-message decisions (same
+  decision vocabulary as the simulator's injector, wall-clock windows
+  measured from run start);
+* :class:`FaultyChannelHub` wraps the normal
+  :class:`~repro.runtime.channels.ChannelHub` semantics with those
+  decisions: dropped messages never reach a mailbox, duplicated ones
+  are posted twice, delayed ones sit in a per-run pending heap until
+  their wall-clock due time.
+
+Topology-level events (link degradation, host slowdown) do not apply
+to in-process channels and are ignored here; counters only reflect
+what actually happened on this backend.  Thread interleaving makes the
+decision *sequence* non-deterministic run to run -- only the simulated
+backend promises deterministic fault counters.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+import random
+
+from repro.api.faults import (
+    FaultPlan,
+    MessageDuplication,
+    MessageLoss,
+    MessageReorder,
+    RankCrash,
+)
+from repro.runtime.channels import ChannelHub
+from repro.simgrid.faults import FaultDecision, decide_message_fate
+from repro.simgrid.message import Message
+
+#: Wait slice for blocking receives while delayed messages are pending.
+_RECEIVE_SLICE = 0.02
+
+
+class ThreadFaultInjector:
+    """Wall-clock interpretation of the message-level fault subset."""
+
+    def __init__(self, plan: FaultPlan, default_seed: Optional[int] = None) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.rng_seed(default_seed))
+        self._lock = threading.Lock()
+        self.counters: Dict[str, int] = {}
+        self._message_events = plan.select(
+            MessageLoss, MessageDuplication, MessageReorder
+        )
+        self._crashes: List[RankCrash] = plan.select(RankCrash)
+        self._t0: Optional[float] = None
+
+    def _count(self, key: str, by: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + by
+
+    def start(self) -> None:
+        """Anchor the plan's time axis to the run's wall-clock start."""
+        self._t0 = time.monotonic()
+
+    def now(self) -> float:
+        """Seconds since run start (0.0 before :meth:`start`)."""
+        return 0.0 if self._t0 is None else time.monotonic() - self._t0
+
+    def finish(self) -> None:
+        """Record which crash windows the run actually lived through.
+
+        Measured on the injector's own clock (anchored at
+        :meth:`start`) -- the executor's elapsed time starts later, and
+        comparing against it would miss a recovery that happened in the
+        final moments of the run.
+        """
+        horizon = self.now()
+        with self._lock:
+            for crash in self._crashes:
+                if crash.at <= horizon:
+                    self._count("crashes")
+                    if crash.end is not None and crash.end <= horizon:
+                        self._count("recoveries")
+
+    def on_send(self, message: Message, now: float) -> FaultDecision:
+        """Decide the fate of one message posted to the channel hub.
+
+        The decision procedure itself is
+        :func:`repro.simgrid.faults.decide_message_fate` -- one shared
+        implementation for both backends -- wrapped in this injector's
+        lock (many sender threads, one RNG stream).
+        """
+        with self._lock:
+            return decide_message_fate(
+                self._crashes, self._message_events, self._rng, self.counters,
+                message, now,
+            )
+
+
+class FaultyChannelHub(ChannelHub):
+    """A :class:`ChannelHub` whose posts pass through a fault injector.
+
+    Delayed messages wait in a heap keyed by wall-clock due time and
+    are flushed into the real mailboxes on every hub interaction;
+    blocking receives wait in bounded slices so a stashed message is
+    released even when no further posts arrive.
+    """
+
+    def __init__(self, size: int, injector: ThreadFaultInjector) -> None:
+        super().__init__(size)
+        self.injector = injector
+        self._delayed_lock = threading.Lock()
+        self._delayed: List[Tuple[float, int, Message]] = []
+
+    # ------------------------------------------------------------------
+    def post(self, message: Message) -> None:
+        self._flush_due()
+        decision = self.injector.on_send(message, self.injector.now())
+        if decision.drop:
+            return
+        if decision.extra_delay > 0.0:
+            due = time.monotonic() + decision.extra_delay
+            with self._delayed_lock:
+                heapq.heappush(self._delayed, (due, message.uid, message))
+                if decision.duplicate:
+                    dup = message.clone()
+                    heapq.heappush(self._delayed, (due, dup.uid, dup))
+            return
+        super().post(message)
+        if decision.duplicate:
+            super().post(message.clone())
+
+    def _flush_due(self) -> None:
+        if not self._delayed:
+            return
+        now = time.monotonic()
+        ready: List[Message] = []
+        with self._delayed_lock:
+            while self._delayed and self._delayed[0][0] <= now:
+                ready.append(heapq.heappop(self._delayed)[2])
+        for message in ready:
+            super().post(message)
+
+    def _next_due_wait(self) -> Optional[float]:
+        with self._delayed_lock:
+            if not self._delayed:
+                return None
+            return max(0.0, self._delayed[0][0] - time.monotonic())
+
+    # ------------------------------------------------------------------
+    def drain(self, rank: int, tag: Optional[str] = None) -> List[Message]:
+        self._flush_due()
+        return super().drain(rank, tag)
+
+    def pending(self, rank: int, tag: Optional[str] = None) -> int:
+        self._flush_due()
+        return super().pending(rank, tag)
+
+    def receive(
+        self,
+        rank: int,
+        tag: Optional[str] = None,
+        count: int = 1,
+        timeout: Optional[float] = None,
+    ) -> List[Message]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            self._flush_due()
+            slice_timeout = _RECEIVE_SLICE
+            next_due = self._next_due_wait()
+            if next_due is not None:
+                slice_timeout = min(slice_timeout, max(1e-4, next_due))
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                slice_timeout = min(slice_timeout, remaining)
+            messages = super().receive(rank, tag, count=count, timeout=slice_timeout)
+            if messages:
+                return messages
+
+
+__all__ = ["ThreadFaultInjector", "FaultyChannelHub"]

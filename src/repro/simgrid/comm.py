@@ -234,6 +234,9 @@ class Transport:
         self.mailboxes: Dict[int, Mailbox] = {r: Mailbox() for r in self.rank_to_host}
         self.messages_sent = 0
         self.bytes_sent = 0.0
+        # Optional SimFaultInjector (set by World.run when the scenario
+        # carries a fault plan); consulted once per message in send().
+        self.faults = None
 
     def _make_pool(self, n_threads: Optional[int], n_ranks: int):
         if n_threads is None:
@@ -264,6 +267,10 @@ class Transport:
         )
         pool = self._send_pools[message.src]
         sw_time = self.policy.send_sw_time(message.size)
+        decision = (
+            self.faults.on_send(message, engine.now)
+            if self.faults is not None else None
+        )
 
         def after_software(now: float) -> None:
             # Traverse the route cut-through: each hop's serialisation
@@ -279,6 +286,8 @@ class Transport:
                 start, end = link.reserve(t, message.size)
                 t = end
             arrival = t + route.latency
+            if decision is not None and decision.extra_delay > 0.0:
+                arrival += decision.extra_delay
             hold = max(0.0, t - now)
             if hold > 0:
                 pool_hold(hold)
@@ -286,7 +295,11 @@ class Transport:
                 handle.release_sender(now)
             # Delivery (and hence the skip-send gate) happens when the
             # last byte reaches the destination host.
-            engine.at(arrival, partial(self._deliver, message, handle), label="arrive")
+            engine.at(
+                arrival,
+                partial(self._deliver, message, handle, decision),
+                label="arrive",
+            )
 
         def pool_hold(hold: float) -> None:
             if isinstance(pool, ThreadPoolModel):
@@ -296,9 +309,16 @@ class Transport:
 
         pool.submit(sw_time, after_software)
 
-    def _deliver(self, message: Message, handle: SendHandle) -> None:
+    def _deliver(self, message: Message, handle: SendHandle, decision=None) -> None:
+        # The handle always completes -- the skip-send gate must reopen
+        # even for a message the fault plan destroys, exactly as a real
+        # sender never learns that an unacknowledged datagram died.
         handle.complete(self.engine.now)
+        if decision is not None and decision.drop:
+            return  # lost in the network: no receive path, no mailbox
         self._arrive(message)
+        if decision is not None and decision.duplicate:
+            self._arrive(message.clone())
 
     def _arrive(self, message: Message) -> None:
         """Message reached the destination NIC: run the receive path."""

@@ -46,6 +46,13 @@ class Message:
     delivered_at: float = float("nan")
     uid: int = field(default_factory=lambda: next(_MESSAGE_IDS))
 
+    def clone(self) -> "Message":
+        """A fresh-uid copy (a duplicated delivery must be two messages)."""
+        return Message(
+            src=self.src, dst=self.dst, tag=self.tag,
+            payload=self.payload, size=self.size, sent_at=self.sent_at,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Message(#{self.uid} {self.src}->{self.dst} tag={self.tag!r} "

@@ -37,6 +37,11 @@ class World:
         ``network.hosts`` order.
     trace:
         Record Gantt spans (small overhead; on by default).
+    faults:
+        Optional :class:`~repro.simgrid.faults.SimFaultInjector`
+        compiled from a scenario's fault plan; installed when the run
+        starts (window events on the engine, message filter on the
+        transport).
     """
 
     def __init__(
@@ -45,6 +50,7 @@ class World:
         policy: CommPolicy,
         hosts: Optional[List[Host]] = None,
         trace: bool = True,
+        faults: Optional[Any] = None,
     ) -> None:
         self.engine = Engine()
         self.network = network
@@ -53,6 +59,7 @@ class World:
         if not self.hosts:
             raise ValueError("world needs at least one host")
         self.trace = GanttTrace(enabled=trace)
+        self.faults = faults
         self.processes: Dict[int, Process] = {}
         self.transport: Optional[Transport] = None
         self._barrier_waiting: List[Process] = []
@@ -105,6 +112,9 @@ class World:
             raise SimulationError("no processes spawned")
         rank_to_host = {r: p.host.name for r, p in self.processes.items()}
         self.transport = Transport(self.engine, self.network, self.policy, rank_to_host)
+        if self.faults is not None:
+            self.transport.faults = self.faults
+            self.faults.install(self)
         for proc in self.processes.values():
             proc.start()
         end = self.engine.run(
@@ -138,6 +148,10 @@ class World:
     # ------------------------------------------------------------------
     def _process_finished(self, proc: Process) -> None:
         self._finished += 1
+        if self._finished == len(self.processes) and self.faults is not None:
+            # Fault windows still open when the program is done must not
+            # stretch virtual time: cancelled events do not advance it.
+            self.faults.cancel_pending()
 
     def _process_failed(self, proc: Process, exc: BaseException) -> None:
         self._failure = exc

@@ -1,0 +1,212 @@
+"""The cross-backend parity driver behind ``repro conformance``.
+
+For every generated scenario the driver:
+
+1. runs the **simulated** backend twice and demands identical work
+   counters (same-seed reproducibility -- problem setup, fault RNG and
+   the event engine are all deterministic);
+2. checks the :mod:`~repro.testing.invariants` on the simulated result
+   and requires it to converge (the generator only emits survivable
+   plans);
+3. runs the **threaded** backend on the *same scenario value*, checks
+   the same invariants, and -- for fault-free scenarios -- requires
+   convergence agreement with the simulator (both reach tolerance);
+   a faulty scenario on real threads must stay *sound* (no premature
+   halt, success implies tolerance) but wall-clock fault windows are
+   allowed to change whether it converges before the iteration cap;
+4. across the sweep, requires that at least one windowed fault plan
+   demonstrably degraded and recovered (non-zero ``recoveries`` in the
+   fault counters) whenever the generator emitted one.
+
+The report is a plain JSON-serializable dict; ``report["passed"]``
+summarizes, ``report["failures"]`` names every offender with its
+violations, and each entry carries the full scenario dict plus seed so
+any failure is reproducible in isolation (``docs/testing.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.api import Scenario, SimulatedBackend, ThreadedBackend
+from repro.api.faults import HostSlowdown, LinkDegradation, RankCrash
+from repro.testing.generator import DEFAULT_CONFIG, GeneratorConfig, generate_scenarios
+from repro.testing.invariants import check_invariants, work_counters
+
+
+def _summary(result) -> Dict[str, Any]:
+    return {
+        "makespan": float(result.makespan),
+        "converged": bool(result.converged),
+        "total_iterations": int(result.total_iterations),
+        "faults": {str(k): int(v) for k, v in sorted(result.faults.items())},
+    }
+
+
+def _has_windowed_plan(scenario: Scenario) -> bool:
+    plan = scenario.faults
+    if plan is None:
+        return False
+    return bool(plan.select(LinkDegradation, HostSlowdown, RankCrash))
+
+
+def run_scenario_conformance(
+    scenario: Scenario,
+    threaded: bool = True,
+    threaded_timeout: float = 60.0,
+) -> Dict[str, Any]:
+    """Run one scenario through the full conformance battery."""
+    record: Dict[str, Any] = {
+        "name": scenario.name or "<unnamed>",
+        "scenario": scenario.to_dict(),
+        "has_faults": scenario.faults is not None and not scenario.faults.is_empty,
+        "simulated": None,
+        "threaded": None,
+        "deterministic": None,
+        "violations": [],
+    }
+    violations: List[str] = record["violations"]
+    problem = scenario.build_problem()
+
+    try:
+        first = SimulatedBackend(trace=False).run(scenario)
+        second = SimulatedBackend(trace=False).run(scenario)
+    except Exception as exc:  # noqa: BLE001 - reported per scenario
+        violations.append(f"simulated backend raised {type(exc).__name__}: {exc}")
+        record["ok"] = False
+        return record
+    record["simulated"] = _summary(first)
+    record["deterministic"] = work_counters(first) == work_counters(second)
+    if not record["deterministic"]:
+        violations.append(
+            "simulated backend is not reproducible: two runs of the same "
+            "seeded scenario disagree on work counters"
+        )
+    violations.extend(
+        f"simulated: {v}" for v in check_invariants(scenario, first, problem)
+    )
+    if not first.converged:
+        violations.append(
+            "simulated: generated scenario failed to converge (the generator "
+            "only emits survivable fault plans)"
+        )
+
+    if threaded:
+        try:
+            threaded_result = ThreadedBackend(timeout=threaded_timeout).run(scenario)
+        except Exception as exc:  # noqa: BLE001 - reported per scenario
+            violations.append(f"threaded backend raised {type(exc).__name__}: {exc}")
+            record["ok"] = False
+            return record
+        record["threaded"] = _summary(threaded_result)
+        violations.extend(
+            f"threaded: {v}"
+            for v in check_invariants(scenario, threaded_result, problem)
+        )
+        # Tolerance agreement: the same scenario value must reach
+        # tolerance on both interpreters.  The waiver applies only when
+        # the plan carries *thread-honoured* (message-level) adversity:
+        # a plan of pure link/host windows is invisible to the threaded
+        # backend, so that run is effectively fault-free and must agree.
+        plan = scenario.faults
+        threaded_faces_adversity = plan is not None and bool(plan.message_events())
+        if not threaded_faces_adversity:
+            if first.converged and not threaded_result.converged:
+                violations.append(
+                    "tolerance disagreement: simulated converged but the "
+                    "threaded backend did not"
+                )
+
+    record["ok"] = not violations
+    return record
+
+
+def run_conformance(
+    n: int = 25,
+    seed: int = 0,
+    filter: Optional[str] = None,
+    threaded: bool = True,
+    threaded_timeout: float = 60.0,
+    config: GeneratorConfig = DEFAULT_CONFIG,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> Dict[str, Any]:
+    """Sweep ``n`` generated scenarios through the conformance battery.
+
+    ``filter`` keeps only scenarios whose name contains the substring
+    (after generation, so indices and seeds stay stable).  ``progress``
+    is invoked with each per-scenario record as it completes.
+    """
+    started = time.perf_counter()
+    scenarios = generate_scenarios(n, seed=seed, config=config)
+    filtered_out = 0
+    if filter:
+        needle = filter.lower()
+        kept = [s for s in scenarios if needle in (s.name or "").lower()]
+        filtered_out = len(scenarios) - len(kept)
+        scenarios = kept
+    records = []
+    for scenario in scenarios:
+        record = run_scenario_conformance(
+            scenario, threaded=threaded, threaded_timeout=threaded_timeout
+        )
+        records.append(record)
+        if progress is not None:
+            progress(record)
+
+    failures = [
+        {"name": r["name"], "violations": r["violations"]}
+        for r in records
+        if not r["ok"]
+    ]
+    if not records:
+        # "0 scenarios, all green" must never happen silently: a typo'd
+        # --filter in the reproduce-a-failure workflow would otherwise
+        # report a passing conformance run that tested nothing.
+        failures.append(
+            {
+                "name": "<sweep>",
+                "violations": [
+                    f"filter {filter!r} matched none of the {filtered_out} "
+                    f"generated scenario(s); nothing was tested"
+                ],
+            }
+        )
+    # The degrade-and-recover demonstration: if any windowed plan was
+    # generated, at least one run must have observably recovered.
+    windowed = [s for s in scenarios if _has_windowed_plan(s)]
+    recovered = [
+        r for r in records
+        if r["simulated"] and r["simulated"]["faults"].get("recoveries", 0) > 0
+    ]
+    if windowed and not recovered:
+        failures.append(
+            {
+                "name": "<sweep>",
+                "violations": [
+                    f"{len(windowed)} windowed fault plan(s) generated but no "
+                    "run observed a recovery (fault windows missed the runs)"
+                ],
+            }
+        )
+    summary = {
+        "scenarios": len(records),
+        "faulty_scenarios": sum(1 for r in records if r["has_faults"]),
+        "windowed_fault_scenarios": len(windowed),
+        "recovered_scenarios": len(recovered),
+        "deterministic": all(r.get("deterministic") for r in records),
+        "elapsed_s": time.perf_counter() - started,
+    }
+    return {
+        "n": n,
+        "seed": seed,
+        "filter": filter,
+        "threaded": threaded,
+        "passed": not failures,
+        "failures": failures,
+        "summary": summary,
+        "scenarios": records,
+    }
+
+
+__all__ = ["run_conformance", "run_scenario_conformance"]

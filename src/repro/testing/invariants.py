@@ -1,0 +1,144 @@
+"""Invariant checkers over one scenario execution.
+
+Each checker inspects a :class:`~repro.api.result.RunResult` against
+the protocol properties the paper's comparison discipline relies on,
+*independently of which backend produced it*:
+
+* **completeness** -- one report per rank, sane iteration counts;
+* **no premature global halt** -- if the coordinator stopped the run,
+  every rank had actually converged;
+* **success implies tolerance** -- a run that reports convergence must
+  have a finite residual everywhere and, when the problem knows its
+  true solution (the sparse linear system does), a global solution
+  error within tolerance;
+* **fault accounting** -- a fault-free scenario reports no fault
+  counters, and counter values are non-negative.
+
+``check_invariants`` returns a list of human-readable violation
+strings (empty = all green); :func:`work_counters` extracts the
+deterministic-counter subset of a result used by the conformance
+driver's same-seed reproducibility check (everything except wall-clock
+timings).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.api.result import RunResult
+from repro.api.scenario import Scenario
+
+#: Slack factor between the per-iteration update-norm threshold (the
+#: paper's eps of Eq. 5) and the acceptable global solution error: the
+#: fixed-point contraction amplifies the update norm by roughly
+#: 1/(1 - rho), and asynchronous staleness adds more.  A *prematurely*
+#: halted run is orders of magnitude outside even this generous band.
+TOLERANCE_SLACK = 1e3
+
+
+def _resolved_eps(scenario: Optional[Scenario], result: RunResult) -> float:
+    if scenario is None:
+        return 1e-6
+    try:
+        return scenario.resolved_options().eps
+    except Exception:  # noqa: BLE001 - invariants must not crash on lookup
+        return 1e-6
+
+
+def check_invariants(
+    scenario: Scenario,
+    result: RunResult,
+    problem: Optional[Any] = None,
+) -> List[str]:
+    """All invariant violations for one execution (empty = sound)."""
+    violations: List[str] = []
+    n = scenario.n_ranks
+    ranks = sorted(result.reports)
+    if ranks != list(range(n)):
+        violations.append(f"expected reports for ranks 0..{n - 1}, got {ranks}")
+        return violations  # everything below assumes complete reports
+
+    opts = scenario.resolved_options(problem)
+    for rank, report in sorted(result.reports.items()):
+        if report.iterations < 1:
+            violations.append(f"rank {rank}: zero iterations")
+        if report.iterations > opts.max_iterations:
+            violations.append(
+                f"rank {rank}: {report.iterations} iterations exceeds the "
+                f"cap {opts.max_iterations}"
+            )
+
+    # No premature global halt: the coordinator may only stop the run
+    # once every rank's local convergence held.
+    if any(r.stopped_by_coordinator for r in result.reports.values()):
+        not_converged = [
+            rank for rank, r in sorted(result.reports.items()) if not r.converged
+        ]
+        if not_converged:
+            violations.append(
+                "coordinator halted the run but ranks "
+                f"{not_converged} never converged (premature global halt)"
+            )
+
+    # Success implies tolerance.
+    if result.converged:
+        for rank, report in sorted(result.reports.items()):
+            if not report.residual < float("inf"):
+                violations.append(
+                    f"rank {rank}: reported convergence with non-finite residual"
+                )
+        if problem is not None and hasattr(problem, "solution_error"):
+            eps = _resolved_eps(scenario, result)
+            try:
+                error = float(problem.solution_error(result.solution()))
+            except ValueError:
+                error = None  # rebuilt from a record without solutions
+            if error is not None and error > eps * TOLERANCE_SLACK:
+                violations.append(
+                    f"reported success but global solution error {error:.3e} "
+                    f"exceeds tolerance band {eps * TOLERANCE_SLACK:.3e}"
+                )
+
+    # Fault accounting.
+    plan = scenario.faults
+    if (plan is None or plan.is_empty) and result.faults:
+        violations.append(
+            f"fault counters {result.faults} reported for a fault-free scenario"
+        )
+    for key, value in result.faults.items():
+        if value < 0:
+            violations.append(f"negative fault counter {key}={value}")
+
+    if result.makespan < 0:
+        violations.append(f"negative makespan {result.makespan}")
+    return violations
+
+
+def work_counters(result: RunResult) -> Dict[str, Any]:
+    """The deterministic work-counter subset of a result.
+
+    Two runs of the same seeded scenario on the simulated backend must
+    agree on every one of these (virtual makespan included); wall-clock
+    ``elapsed`` fields are deliberately excluded.
+    """
+    stats = result.backend_stats
+    return {
+        "makespan": result.makespan,
+        "total_iterations": result.total_iterations,
+        "max_iterations": result.max_iterations,
+        "converged": result.converged,
+        "iterations_per_rank": {
+            r: rep.iterations for r, rep in sorted(result.reports.items())
+        },
+        "sends_per_rank": {
+            r: rep.sends for r, rep in sorted(result.reports.items())
+        },
+        "skipped_sends": sum(r.skipped_sends for r in result.reports.values()),
+        "state_messages": sum(r.state_messages for r in result.reports.values()),
+        "messages_sent": stats.get("messages_sent"),
+        "events": stats.get("events"),
+        "faults": dict(sorted(result.faults.items())),
+    }
+
+
+__all__ = ["check_invariants", "work_counters", "TOLERANCE_SLACK"]
