@@ -54,20 +54,24 @@ from repro.api.faults import (
     fault_kinds,
 )
 from repro.api.registry import (
+    get_balancer,
     get_cluster,
     get_environment,
     get_problem,
     get_problem_factory,
     get_worker,
+    list_balancers,
     list_clusters,
     list_environments,
     list_problems,
     list_workers,
+    register_balancer,
     register_cluster,
     register_problem,
     register_worker,
 )
-from repro.api.result import RunResult, jsonify
+from repro.api.result import RankProgress, RunResult, jsonify
+from repro.balancing import BalancingPlan
 from repro.api.scenario import Scenario, scenario_matrix
 from repro.api.sweep import sweep, sweep_results
 
@@ -75,7 +79,12 @@ __all__ = [
     "Scenario",
     "scenario_matrix",
     "RunResult",
+    "RankProgress",
     "jsonify",
+    "BalancingPlan",
+    "register_balancer",
+    "get_balancer",
+    "list_balancers",
     "FaultPlan",
     "LinkDegradation",
     "HostSlowdown",

@@ -128,9 +128,17 @@ class SimulatedBackend:
             from repro.simgrid.faults import SimFaultInjector
 
             injector = SimFaultInjector(scenario.faults, default_seed=scenario.seed)
+        make_balancer = None
+        solver_factory = make_solver or problem.make_local
+        if scenario.balancer is not None:
+            from repro.balancing import compile_plan
+
+            solver_factory, make_balancer = compile_plan(
+                scenario, problem, make_solver
+            )
         started = time.perf_counter()
         outcome = _simulate(
-            make_solver or problem.make_local,
+            solver_factory,
             scenario.n_ranks,
             network,
             policy,
@@ -139,6 +147,7 @@ class SimulatedBackend:
             trace=self.trace,
             max_events=self.max_events,
             faults=injector,
+            make_balancer=make_balancer,
         )
         return RunResult(
             makespan=outcome.makespan,
@@ -182,6 +191,11 @@ class ThreadedBackend:
         worker = get_worker(scenario.resolve_worker(problem))
         opts = scenario.resolved_options(problem)
         factory = make_solver or problem.make_local
+        make_balancer = None
+        if scenario.balancer is not None:
+            from repro.balancing import compile_plan
+
+            factory, make_balancer = compile_plan(scenario, problem, make_solver)
         injector = None
         # Only the message-level subset applies to in-process channels:
         # a plan holding nothing but link/host windows must not pay for
@@ -190,8 +204,17 @@ class ThreadedBackend:
             from repro.runtime.faults import ThreadFaultInjector
 
             injector = ThreadFaultInjector(scenario.faults, default_seed=scenario.seed)
+        if make_balancer is not None:
+            def make_coroutine(rank: int, size: int):
+                return worker(
+                    rank, size, factory(rank, size), opts,
+                    balancer=make_balancer(rank, size),
+                )
+        else:
+            def make_coroutine(rank: int, size: int):
+                return worker(rank, size, factory(rank, size), opts)
         outcome = _run_threaded(
-            lambda rank, size: worker(rank, size, factory(rank, size), opts),
+            make_coroutine,
             scenario.n_ranks,
             timeout=self.timeout,
             faults=injector,

@@ -15,6 +15,7 @@ single import::
 """
 
 from repro.api.backends import get_backend, list_backends, register_backend
+from repro.balancing import get_balancer, list_balancers, register_balancer
 from repro.clusters import get_cluster, list_clusters, register_cluster
 from repro.core.run import get_worker, list_workers, register_worker
 from repro.envs import all_environments, get_environment
@@ -55,4 +56,7 @@ __all__ = [
     "register_backend",
     "get_backend",
     "list_backends",
+    "register_balancer",
+    "get_balancer",
+    "list_balancers",
 ]

@@ -19,6 +19,23 @@ from repro.api.scenario import Scenario
 from repro.core.aiac import WorkerReport
 
 
+@dataclass(frozen=True)
+class RankProgress:
+    """One rank's progress summary (the balancing-evaluation view).
+
+    ``busy_time`` is the time the rank spent computing, on the
+    backend's own clock (virtual seconds on the simulator, wall
+    seconds on threads); ``rows`` is the final ``[lo, hi)`` row range
+    when the run migrated rows (``None`` for static partitions).
+    """
+
+    rank: int
+    iterations: int
+    busy_time: float
+    sends: int = 0
+    rows: Optional[tuple] = None
+
+
 def jsonify(value: Any) -> Any:
     """Recursively convert numpy containers/scalars to JSON-safe types::
 
@@ -95,6 +112,42 @@ class RunResult:
         """Largest per-rank iteration count (0 with no reports)."""
         return max((r.iterations for r in self.reports.values()), default=0)
 
+    @property
+    def per_rank(self) -> Dict[int, RankProgress]:
+        """Per-rank progress: iterations, busy time, final row range.
+
+        The currency of balancing evaluation::
+
+            progress = result.per_rank
+            busy = [progress[r].busy_time for r in sorted(progress)]
+
+        ``busy_time`` survives ``to_record``/``from_record``.
+        """
+        progress: Dict[int, RankProgress] = {}
+        for rank, rep in self.reports.items():
+            rows = rep.meta.get("rows") if isinstance(rep.meta, Mapping) else None
+            progress[rank] = RankProgress(
+                rank=rank,
+                iterations=rep.iterations,
+                busy_time=float(getattr(rep, "busy_time", 0.0)),
+                sends=rep.sends,
+                rows=None if rows is None else tuple(rows),
+            )
+        return progress
+
+    @property
+    def balancing(self) -> Dict[str, int]:
+        """Aggregated migration counters over all ranks (empty when the
+        run carried no balancing plan); see ``docs/balancing.md``."""
+        totals: Dict[str, int] = {}
+        for rep in self.reports.values():
+            counters = rep.meta.get("balancing") if isinstance(rep.meta, Mapping) else None
+            if not counters:
+                continue
+            for key, value in counters.items():
+                totals[key] = totals.get(key, 0) + int(value)
+        return totals
+
     def solution(self) -> np.ndarray:
         """Concatenate the per-rank local solutions in rank order."""
         parts = [self.reports[r].solution for r in sorted(self.reports)]
@@ -144,6 +197,7 @@ class RunResult:
                 "sends": rep.sends,
                 "skipped_sends": rep.skipped_sends,
                 "state_messages": rep.state_messages,
+                "busy_time": float(getattr(rep, "busy_time", 0.0)),
                 "meta": jsonify(rep.meta),
             }
             if include_solution:
@@ -179,6 +233,7 @@ class RunResult:
                 sends=rep.get("sends", 0),
                 skipped_sends=rep.get("skipped_sends", 0),
                 state_messages=rep.get("state_messages", 0),
+                busy_time=rep.get("busy_time", 0.0),
                 meta=dict(rep.get("meta", {})),
             )
         scenario = record.get("scenario")
@@ -193,4 +248,4 @@ class RunResult:
         )
 
 
-__all__ = ["RunResult", "jsonify"]
+__all__ = ["RunResult", "RankProgress", "jsonify"]

@@ -13,10 +13,11 @@ other side of a process pool.
 from __future__ import annotations
 
 import inspect
-from dataclasses import asdict, dataclass, field, fields, replace
+from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 from repro.api.faults import FaultPlan
+from repro.balancing.policy import BalancingPlan
 from repro.clusters import get_cluster
 from repro.core.aiac import AIACOptions
 from repro.core.run import WORKER_REGISTRY
@@ -79,6 +80,16 @@ class Scenario:
         :class:`~repro.api.backends.ThreadedBackend`.  A plain dict (the
         ``FaultPlan.to_dict`` form) is accepted and coerced.  See
         ``docs/testing.md``.
+    balancer:
+        Optional :class:`~repro.balancing.BalancingPlan` coupling
+        dynamic load balancing with the asynchronous iterations: ranks
+        measure their own throughput and migrate rows to neighbours
+        mid-run (``policy="diffusion"``; ``policy="none"`` runs the
+        identical machinery without ever migrating -- the fair
+        baseline).  Requires the ``aiac`` worker and a problem
+        supporting row migration; honoured by both backends.  A plain
+        dict (the ``BalancingPlan.to_dict`` form) is accepted and
+        coerced.  See ``docs/balancing.md``.
     problem_kind:
         The communication-policy kind (``"sparse_linear"`` or
         ``"chemical"``); defaults to ``problem``, override it when
@@ -112,6 +123,7 @@ class Scenario:
     policy_overrides: Mapping[str, Any] = field(default_factory=dict)
     seed: Optional[int] = None
     faults: Optional[FaultPlan] = None
+    balancer: Optional[BalancingPlan] = None
     problem_kind: Optional[str] = None
     name: Optional[str] = None
 
@@ -121,6 +133,10 @@ class Scenario:
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             # Ergonomics: accept the plain-dict (JSON) form directly.
             object.__setattr__(self, "faults", FaultPlan.from_dict(self.faults))
+        if self.balancer is not None and not isinstance(self.balancer, BalancingPlan):
+            object.__setattr__(
+                self, "balancer", BalancingPlan.from_dict(self.balancer)
+            )
         if self.algorithm != "auto" and self.algorithm not in WORKER_REGISTRY:
             raise KeyError(
                 f"unknown worker {self.algorithm!r}; "
@@ -140,7 +156,10 @@ class Scenario:
 
         ``scenario.derive(environment="pm2", problem_params__n=600)``
         replaces the ``environment`` field and the single ``n`` entry of
-        ``problem_params``, leaving everything else untouched.
+        ``problem_params``, leaving everything else untouched.  The
+        nested form also reaches into plan values:
+        ``derive(balancer__policy="none")`` swaps one field of the
+        balancing plan.
         """
         flat: Dict[str, Any] = {}
         nested: Dict[str, Dict[str, Any]] = {}
@@ -152,9 +171,14 @@ class Scenario:
                 flat[key] = value
         for outer, updates in nested.items():
             current = flat.get(outer, getattr(self, outer))
-            if not isinstance(current, Mapping):
-                raise TypeError(f"field {outer!r} is not a parameter mapping")
-            flat[outer] = {**current, **updates}
+            if isinstance(current, Mapping):
+                flat[outer] = {**current, **updates}
+            elif is_dataclass(current) and not isinstance(current, type):
+                flat[outer] = replace(current, **updates)
+            else:
+                raise TypeError(
+                    f"field {outer!r} is not a parameter mapping or plan value"
+                )
         return replace(self, **flat)
 
     # ------------------------------------------------------------------
@@ -231,6 +255,7 @@ class Scenario:
             "policy_overrides": dict(self.policy_overrides),
             "seed": self.seed,
             "faults": None if self.faults is None else self.faults.to_dict(),
+            "balancer": None if self.balancer is None else self.balancer.to_dict(),
             "problem_kind": self.problem_kind,
             "name": self.name,
         }
@@ -258,6 +283,9 @@ class Scenario:
         faults = payload.get("faults")
         if isinstance(faults, Mapping):
             payload["faults"] = FaultPlan.from_dict(faults)
+        balancer = payload.get("balancer")
+        if isinstance(balancer, Mapping):
+            payload["balancer"] = BalancingPlan.from_dict(balancer)
         return cls(**payload)
 
 

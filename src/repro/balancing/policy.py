@@ -1,0 +1,261 @@
+"""Declarative balancing plans and pluggable rebalancing policies.
+
+The paper's companion line of work couples *dynamic load balancing*
+with asynchronous iterations: processors migrate rows between
+neighbours mid-run so heterogeneous (or perturbed) grids keep every
+rank usefully busy.  This module holds the declarative half of that
+subsystem:
+
+* :class:`BalancingPlan` -- the JSON-round-trippable value attached to
+  a :class:`~repro.api.scenario.Scenario` (like
+  :class:`~repro.api.faults.FaultPlan`): which policy runs, how often
+  load is probed, and how aggressively rows move;
+* the balancer registry -- policies are addressable by short strings
+  (``"diffusion"``, ``"none"``) via :func:`register_balancer`, so a
+  plan stays a plain dict;
+* the built-in policies -- :class:`DiffusionBalancer` (paper-style
+  neighbour diffusion: move a fraction of the measured excess towards
+  the under-loaded neighbour) and :class:`NoopBalancer` (the baseline
+  that never migrates, giving the LB-vs-no-LB comparison a fair
+  control running the identical machinery).
+
+The runtime half -- load estimation and the two-phase migration
+protocol -- lives in :mod:`repro.balancing.estimator` and
+:mod:`repro.balancing.protocol`.  Vocabulary and examples:
+``docs/balancing.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.registry import Registry
+
+BALANCER_REGISTRY = Registry("balancer")
+
+
+def register_balancer(name=None, **kwargs) -> Callable:
+    """Register a balancing policy class under a short name (decorator).
+
+    A policy class is instantiated as ``cls(plan)`` per rank and must
+    provide ``needs_load_reports`` plus
+    ``propose(me, neighbour_loads) -> Optional[(dest_rank, n_rows)]``::
+
+        @register_balancer("greedy")
+        class GreedyBalancer:
+            needs_load_reports = True
+            def __init__(self, plan): ...
+            def propose(self, me, loads): ...
+    """
+    return BALANCER_REGISTRY.register(name, **kwargs)
+
+
+def get_balancer(name: str) -> Any:
+    """Look up a balancing policy class by its registered name."""
+    return BALANCER_REGISTRY.get(name)
+
+
+def list_balancers() -> List[str]:
+    """Sorted names of all registered balancing policies."""
+    return BALANCER_REGISTRY.names()
+
+
+@dataclass(frozen=True)
+class BalancingPlan:
+    """How one scenario rebalances load, as a JSON-serializable value.
+
+    Attributes
+    ----------
+    policy:
+        Balancer registry name (``"diffusion"``, ``"none"``, or a
+        custom :func:`register_balancer` entry).
+    period:
+        Iterations between load probes: every ``period`` local
+        iterations a rank samples its own rate, reports it to its
+        neighbours, and (on its parity slot) may propose a migration.
+    threshold:
+        Relative imbalance required before rows move: a rank only
+        donates when its excess over the speed-ideal share exceeds
+        ``threshold * own_rows``.
+    batch_fraction:
+        Fraction of the measured excess moved per migration (0.5 is
+        classic diffusion: close half the gap, re-measure, repeat).
+    max_batch:
+        Hard cap on rows per migration; ``0`` means uncapped.
+    min_rows:
+        Rows a donor must keep.  The default ``1`` keeps every rank
+        computing; ``0`` allows blocks to empty out entirely (legal --
+        see :class:`~repro.linalg.partition.BlockPartition` -- but an
+        empty rank's speed can no longer be measured).
+
+    Example
+    -------
+    ::
+
+        plan = BalancingPlan(policy="diffusion", period=20, threshold=0.1)
+        scenario = Scenario(problem="sparse_linear", cluster="local_cluster",
+                            n_ranks=6, balancer=plan)
+
+    JSON forms and the migration protocol: ``docs/balancing.md``.
+    """
+
+    policy: str = "diffusion"
+    period: int = 25
+    threshold: float = 0.1
+    batch_fraction: float = 0.5
+    max_batch: int = 0
+    min_rows: int = 1
+
+    def __post_init__(self) -> None:
+        if self.policy not in BALANCER_REGISTRY:
+            raise KeyError(
+                f"unknown balancer {self.policy!r}; "
+                f"known: {BALANCER_REGISTRY.names()}"
+            )
+        if self.period < 1:
+            raise ValueError(f"period must be >= 1, got {self.period}")
+        if self.threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {self.threshold}")
+        if not 0.0 < self.batch_fraction <= 1.0:
+            raise ValueError(
+                f"batch_fraction must be in (0, 1], got {self.batch_fraction}"
+            )
+        if self.max_batch < 0:
+            raise ValueError(f"max_batch must be >= 0, got {self.max_batch}")
+        if self.min_rows < 0:
+            raise ValueError(f"min_rows must be >= 0, got {self.min_rows}")
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the plan can never migrate rows."""
+        return self.policy == "none"
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {
+            "policy": self.policy,
+            "period": self.period,
+            "threshold": self.threshold,
+            "batch_fraction": self.batch_fraction,
+            "max_batch": self.max_batch,
+            "min_rows": self.min_rows,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BalancingPlan":
+        """Rebuild a plan from :meth:`to_dict` output (or hand-written JSON)."""
+        known = {
+            "policy", "period", "threshold", "batch_fraction",
+            "max_batch", "min_rows",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown balancing-plan field(s) {unknown}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class RankLoad:
+    """One rank's load sample, as seen by one observer.
+
+    ``rate`` is the observed throughput in rows/second -- virtual
+    seconds on the simulator, wall seconds on threads; ``0.0`` means
+    *unknown* (the rank has not measured yet, or owns no rows).
+    ``iteration`` is always on the **observer's** clock: for a rank's
+    own sample, the local iteration it was taken at; for a neighbour
+    report, the observer's local iteration at receipt.  Staleness
+    checks (``me.iteration - load.iteration``) therefore compare two
+    readings of the same counter.
+    """
+
+    rank: int
+    rows: int
+    rate: float
+    iteration: int
+
+
+@register_balancer("none")
+class NoopBalancer:
+    """The do-nothing baseline: never probes, never migrates.
+
+    Runs the identical worker machinery (migratable solver,
+    self-describing payloads) so LB-vs-no-LB comparisons measure the
+    effect of *migration*, not of a different code path.
+    """
+
+    needs_load_reports = False
+
+    def __init__(self, plan: BalancingPlan) -> None:
+        self.plan = plan
+
+    def propose(
+        self, me: RankLoad, loads: Mapping[int, RankLoad]
+    ) -> Optional[Tuple[int, int]]:
+        return None
+
+
+@register_balancer("diffusion")
+class DiffusionBalancer:
+    """Paper-style neighbour diffusion.
+
+    Each probe, a rank compares its own measured throughput (rows/sec)
+    with a neighbour's.  The pair's combined rows should split
+    proportionally to the two speeds; when this rank holds more than
+    its share by at least ``threshold * own_rows`` (and at least one
+    whole row), it offers ``batch_fraction`` of the excess to that
+    neighbour.  Donation-only diffusion is symmetric: the overloaded
+    side of every edge sees the same imbalance, so rows always flow
+    downhill without any pull protocol.
+    """
+
+    needs_load_reports = True
+
+    def __init__(self, plan: BalancingPlan) -> None:
+        self.plan = plan
+
+    def propose(
+        self, me: RankLoad, loads: Mapping[int, RankLoad]
+    ) -> Optional[Tuple[int, int]]:
+        plan = self.plan
+        if me.rate <= 0 or me.rows <= plan.min_rows:
+            return None
+        best: Optional[Tuple[int, int]] = None
+        best_excess = 0.0
+        for nbr, load in sorted(loads.items()):
+            if me.iteration - load.iteration > 3 * plan.period:
+                continue  # stale sample: that neighbour has gone quiet
+            # A neighbour that never reported a usable rate (e.g. it
+            # owns zero rows) is assumed as fast as we are, so rows can
+            # bootstrap onto it instead of being pinned forever.
+            s_nbr = load.rate if load.rate > 0 else me.rate
+            total = me.rows + load.rows
+            ideal_me = total * me.rate / (me.rate + s_nbr)
+            excess = me.rows - ideal_me
+            if excess < 1.0 or excess <= plan.threshold * me.rows:
+                continue
+            k = max(1, int(excess * plan.batch_fraction))
+            k = min(k, me.rows - plan.min_rows)
+            if plan.max_batch:
+                k = min(k, plan.max_batch)
+            if k >= 1 and excess > best_excess:
+                best, best_excess = (nbr, k), excess
+        return best
+
+
+__all__ = [
+    "BalancingPlan",
+    "RankLoad",
+    "BALANCER_REGISTRY",
+    "register_balancer",
+    "get_balancer",
+    "list_balancers",
+    "NoopBalancer",
+    "DiffusionBalancer",
+]

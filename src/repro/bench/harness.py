@@ -100,15 +100,24 @@ def _run_scenario_case(case: BenchCase, repeats: int) -> Dict[str, Any]:
         result = backend.run(scenario)
         timings.append(time.perf_counter() - started)
         stats = result.backend_stats
-        counter_runs.append(
-            {
-                "events": int(stats.get("events", 0)),
-                "messages_sent": int(stats.get("messages_sent", 0)),
-                "total_iterations": int(result.total_iterations),
-                "max_iterations": int(result.max_iterations),
-                "converged": int(result.converged),
-            }
-        )
+        counters = {
+            "events": int(stats.get("events", 0)),
+            "messages_sent": int(stats.get("messages_sent", 0)),
+            "total_iterations": int(result.total_iterations),
+            "max_iterations": int(result.max_iterations),
+            "converged": int(result.converged),
+        }
+        if case.backend == "simulated":
+            # The virtual makespan is itself a deterministic work
+            # counter (microseconds keep the schema integral): for the
+            # balancing cases it records the LB-vs-no-LB win in the
+            # ledger, independent of host timing jitter.
+            counters["makespan_us"] = int(result.makespan * 1e6)
+        if scenario.balancer is not None:
+            balancing = result.balancing
+            counters["rows_migrated"] = int(balancing.get("rows_out", 0))
+            counters["migrations"] = int(balancing.get("migrations_out", 0))
+        counter_runs.append(counters)
     return {"timings_s": timings, "counter_runs": counter_runs}
 
 

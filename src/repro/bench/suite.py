@@ -156,6 +156,43 @@ DEFAULT_SUITE: List[BenchCase] = [
             },
         },
     ),
+    # -- dynamic load balancing (the paper's LB-vs-no-LB comparison) ----
+    # The same heterogeneous cluster (Duron/P4 mix) and seed, once with
+    # the no-op baseline and once with neighbour diffusion: the ledger
+    # tracks both the wall cost of the bench run and -- through the
+    # deterministic counters -- the simulated makespan win that rows
+    # migrating off the slow machines buy (see docs/balancing.md and
+    # examples/load_balancing.py).
+    BenchCase(
+        name="scenario/sparse_hetero_r6_lb_off",
+        kind="scenario",
+        scenario={
+            "problem": "sparse_linear",
+            "problem_params": {"n": 400, "dominance": 0.9},
+            "environment": "pm2",
+            "cluster": "local_cluster",
+            "cluster_params": {"speed_scale": 4e-4},
+            "n_ranks": 6,
+            "seed": 3,
+            "balancer": {"policy": "none"},
+        },
+        tags=(QUICK,),
+    ),
+    BenchCase(
+        name="scenario/sparse_hetero_r6_lb_diffusion",
+        kind="scenario",
+        scenario={
+            "problem": "sparse_linear",
+            "problem_params": {"n": 400, "dominance": 0.9},
+            "environment": "pm2",
+            "cluster": "local_cluster",
+            "cluster_params": {"speed_scale": 4e-4},
+            "n_ranks": 6,
+            "seed": 3,
+            "balancer": {"policy": "diffusion", "period": 10},
+        },
+        tags=(QUICK,),
+    ),
     # -- hot-path kernels ----------------------------------------------
     BenchCase(
         name="kernel/sparse_matvec",

@@ -4,8 +4,8 @@ Installed as the ``repro`` command (see ``setup.py``); also runnable as
 ``python -m repro.cli``.  Three subcommands:
 
 ``repro list``
-    Print every registered problem, environment, cluster, worker and
-    backend name -- the vocabulary of scenario JSON files.
+    Print every registered problem, environment, cluster, worker,
+    backend and balancer name -- the vocabulary of scenario JSON files.
 
 ``repro run scenarios.json [--backend NAME] [--processes N]
 [--include-solution] [--output records.json]``
@@ -43,6 +43,7 @@ from typing import List, Optional
 from repro.api import sweep
 from repro.api.registry import (
     list_backends,
+    list_balancers,
     list_clusters,
     list_environments,
     list_problems,
@@ -57,6 +58,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
         ("clusters", list_clusters()),
         ("workers", list_workers()),
         ("backends", list_backends()),
+        ("balancers", list_balancers()),
     ]:
         print(f"{title}: {', '.join(names)}")
     return 0
@@ -224,7 +226,9 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser(
-        "list", help="show every registered problem/environment/cluster/worker/backend"
+        "list",
+        help="show every registered problem/environment/cluster/worker/"
+        "backend/balancer",
     )
     list_parser.set_defaults(func=_cmd_list)
 

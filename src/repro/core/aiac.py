@@ -80,6 +80,10 @@ class WorkerReport:
     sends: int = 0
     skipped_sends: int = 0
     state_messages: int = 0
+    #: Time this rank spent computing (virtual seconds on the
+    #: simulator, wall seconds on threads); filled in by the
+    #: interpreters, not the coroutine.
+    busy_time: float = 0.0
     meta: Dict[str, Any] = field(default_factory=dict)
 
 
@@ -118,8 +122,15 @@ def _aiac_inner(
     solver: LocalSolver,
     opts: AIACOptions,
     suffix: str,
+    balancer: Optional[Any] = None,
 ) -> Generator:
     """One asynchronous iterative process, run to global convergence.
+
+    ``balancer`` is an optional
+    :class:`repro.balancing.MigrationEngine`: its ``pump`` runs once
+    per iteration (in-band row migration), a handoff in flight holds
+    off local convergence, and a completed migration resets the
+    tracker -- the resized block must re-earn its stability streak.
 
     Returns an :class:`_InnerResult` (via StopIteration value).
     """
@@ -145,6 +156,24 @@ def _aiac_inner(
             solver.integrate(msg.src, msg.payload)
             last_heard[msg.src] = iterations
 
+        if balancer is not None:
+            migrated = yield from balancer.pump(solver, iterations)
+            if migrated:
+                was_converged = tracker.converged
+                tracker.reset()
+                if was_converged:
+                    # The coordinator believed this rank converged; the
+                    # resized block must explicitly take that back or a
+                    # stop signal could race the re-convergence.
+                    if rank == coord:
+                        panel.update(rank, iterations, False)
+                    else:
+                        yield Send(
+                            coord, tag_state,
+                            (rank, iterations, False), opts.state_bytes,
+                        )
+                        state_messages += 1
+
         result = solver.iterate()
         iterations += 1
         last_meta = result.meta
@@ -168,6 +197,8 @@ def _aiac_inner(
             for p in providers
         ):
             residual = float("inf")  # dependency data too stale to trust
+        if balancer is not None and balancer.holds_convergence():
+            residual = float("inf")  # rows in flight: hold off the halt
         changed = tracker.update(residual)
 
         if rank == coord:
@@ -192,6 +223,11 @@ def _aiac_inner(
                 stopped = True
                 break
 
+    if balancer is not None:
+        # Exit path (stop signal or iteration cap): resolve any handoff
+        # still in flight so the global row set stays a partition.
+        yield from balancer.finalize(solver)
+
     return _InnerResult(
         iterations=iterations,
         converged=tracker.converged or stopped,
@@ -209,14 +245,29 @@ def aiac_worker(
     size: int,
     solver: LocalSolver,
     opts: Optional[AIACOptions] = None,
+    balancer: Optional[Any] = None,
 ) -> Generator:
-    """AIAC worker for single-level problems (the sparse linear system)."""
+    """AIAC worker for single-level problems (the sparse linear system).
+
+    ``balancer`` (a :class:`repro.balancing.MigrationEngine`) enables
+    in-band dynamic load balancing; the solver must then support row
+    migration (``give_rows``/``take_rows``).  The final row range and
+    migration counters land in the report meta (``"rows"`` /
+    ``"balancing"``).
+    """
     opts = opts or AIACOptions()
     start = yield Now()
     yield from _initial_exchange(solver, "init")
     yield Barrier()  # "only the first iteration begins at the same time"
-    inner = yield from _aiac_inner(rank, size, solver, opts, suffix="")
+    inner = yield from _aiac_inner(
+        rank, size, solver, opts, suffix="", balancer=balancer
+    )
     end = yield Now()
+    meta = inner.meta
+    if balancer is not None:
+        meta = dict(meta)
+        meta["rows"] = list(solver.row_range)
+        meta["balancing"] = balancer.summary()
     return WorkerReport(
         rank=rank,
         iterations=inner.iterations,
@@ -228,7 +279,7 @@ def aiac_worker(
         sends=inner.sends,
         skipped_sends=inner.skipped,
         state_messages=inner.state_messages,
-        meta=inner.meta,
+        meta=meta,
     )
 
 

@@ -101,6 +101,7 @@ def _simulate(
     trace: bool = True,
     max_events: Optional[int] = None,
     faults: Optional[Any] = None,
+    make_balancer: Optional[Callable[[int, int], Any]] = None,
 ) -> RunResult:
     """Simulate a parallel run of ``n_ranks`` workers.
 
@@ -120,6 +121,10 @@ def _simulate(
     faults:
         Optional :class:`repro.simgrid.faults.SimFaultInjector`
         compiled from a scenario's fault plan.
+    make_balancer:
+        ``(rank, size) -> MigrationEngine`` when the run balances load
+        dynamically (see :mod:`repro.balancing`); the worker must
+        accept a ``balancer`` keyword (the ``aiac`` worker does).
     """
     if worker not in WORKERS:
         raise ValueError(f"unknown worker {worker!r}; choose from {sorted(WORKERS)}")
@@ -134,9 +139,19 @@ def _simulate(
     world = World(network, policy, trace=trace, faults=faults)
     for rank in range(n_ranks):
         solver = make_solver(rank, n_ranks)
-        world.spawn(worker_fn(rank, n_ranks, solver, opts))
+        if make_balancer is not None:
+            coroutine = worker_fn(
+                rank, n_ranks, solver, opts,
+                balancer=make_balancer(rank, n_ranks),
+            )
+        else:
+            coroutine = worker_fn(rank, n_ranks, solver, opts)
+        world.spawn(coroutine)
     makespan = world.run(max_events=max_events)
     reports = {rank: report for rank, report in world.results.items()}
+    for rank, report in reports.items():
+        if hasattr(report, "busy_time"):
+            report.busy_time = world.processes[rank].busy_time
     return RunResult(makespan=makespan, reports=reports, world=world)
 
 

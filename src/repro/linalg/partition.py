@@ -16,7 +16,14 @@ import numpy as np
 
 @dataclass(frozen=True)
 class BlockPartition:
-    """Partition of ``range(n)`` into ``m`` contiguous blocks."""
+    """Partition of ``range(n)`` into ``m`` contiguous blocks.
+
+    ``m > n`` is legal: the trailing blocks are empty (zero-width
+    ``[lo, lo)`` bounds).  Empty blocks arise naturally once rows can
+    migrate between processors (:mod:`repro.balancing`): a donor that
+    gave everything away still owns a well-defined, empty slice of the
+    index range.
+    """
 
     n: int
     m: int
@@ -26,8 +33,6 @@ class BlockPartition:
             raise ValueError("n must be >= 0")
         if self.m < 1:
             raise ValueError("m must be >= 1")
-        if self.m > self.n > 0:
-            raise ValueError(f"more blocks ({self.m}) than elements ({self.n})")
 
     # ------------------------------------------------------------------
     def bounds(self, block: int) -> Tuple[int, int]:
@@ -59,6 +64,10 @@ class BlockPartition:
         if not lo <= index < hi:
             raise IndexError(f"index {index} not in block {block} [{lo}, {hi})")
         return index - lo
+
+    def sizes(self) -> List[int]:
+        """Per-block element counts, in block order."""
+        return [self.size(b) for b in range(self.m)]
 
     def slices(self) -> List[slice]:
         return [slice(*self.bounds(b)) for b in range(self.m)]
@@ -99,6 +108,15 @@ class WeightedPartition:
     Interface-compatible with :class:`BlockPartition` (``bounds``,
     ``size``, ``owner``, ``scatter``, ``gather``), so the local solvers
     accept either.
+
+    Two construction paths:
+
+    * ``WeightedPartition(n, weights)`` apportions ``n`` elements
+      proportionally to positive ``weights`` (at least one element per
+      block -- static speed-proportional balancing);
+    * :meth:`from_sizes` takes explicit per-block row counts, zeros
+      included -- the form dynamic rebalancing
+      (:mod:`repro.balancing`) produces after rows have migrated.
     """
 
     def __init__(self, n: int, weights) -> None:
@@ -135,6 +153,38 @@ class WeightedPartition:
             lo += int(size)
         if lo != n:
             raise AssertionError("apportionment failed to cover the range")
+
+    @classmethod
+    def from_sizes(cls, sizes) -> "WeightedPartition":
+        """Partition from explicit per-block element counts.
+
+        Unlike the weight constructor, zero-size blocks are allowed
+        (``from_sizes([3, 0, 2])`` is a valid partition of ``range(5)``
+        with an empty middle block) -- exactly what row migration can
+        legitimately produce.
+        """
+        import numpy as _np
+
+        sizes = [int(s) for s in sizes]
+        if not sizes:
+            raise ValueError("need at least one block size")
+        if any(s < 0 for s in sizes):
+            raise ValueError(f"sizes must be >= 0, got {sizes}")
+        self = cls.__new__(cls)
+        self.n = sum(sizes)
+        self.m = len(sizes)
+        total = max(1, self.n)
+        self.weights = _np.asarray([s / total for s in sizes], dtype=float)
+        self._bounds = []
+        lo = 0
+        for size in sizes:
+            self._bounds.append((lo, lo + size))
+            lo += size
+        return self
+
+    def sizes(self) -> List[int]:
+        """Per-block element counts, in block order."""
+        return [hi - lo for lo, hi in self._bounds]
 
     def bounds(self, block: int) -> Tuple[int, int]:
         if not 0 <= block < self.m:

@@ -17,7 +17,7 @@ data dependencies", Section 5.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -157,6 +157,15 @@ class SparseLinearProblem:
         """Local solver for processor ``rank`` of ``size``."""
         return SparseLinearLocal(self, rank, size)
 
+    def make_migratable(self, rank: int, size: int) -> "MigratableSparseLinearLocal":
+        """Local solver whose row block can shrink/grow at run time.
+
+        Used by :mod:`repro.balancing`: the returned solver exchanges
+        self-describing row updates and supports the ``give_rows`` /
+        ``take_rows`` reslicing the migration protocol drives.
+        """
+        return MigratableSparseLinearLocal(self, rank, size)
+
 
 class SparseLinearLocal(LocalSolver):
     """Per-processor state of the parallel gradient descent.
@@ -182,6 +191,16 @@ class SparseLinearLocal(LocalSolver):
         if self.partition.m != size or self.partition.n != problem.n:
             raise ValueError("partition does not match problem/size")
         self.lo, self.hi = self.partition.bounds(rank)
+        if self.hi <= self.lo:
+            # The static solver has no empty-block handling (zero flops
+            # would spin the simulator's clock in place, and silent
+            # ranks starve the freshness guard).  Empty blocks are the
+            # migratable solver's territory (repro.balancing).
+            raise ValueError(
+                f"rank {rank} owns no rows ({size} ranks over "
+                f"{problem.n} rows); the static decomposition needs "
+                "n >= n_ranks"
+            )
         providers, receivers = block_ranges_dependencies(problem.matrix, self.partition)
         self._providers = providers[rank]
         self._receivers = receivers[rank]
@@ -223,6 +242,191 @@ class SparseLinearLocal(LocalSolver):
 
     def local_solution(self) -> np.ndarray:
         return self.x[self.lo : self.hi].copy()
+
+
+class MigratableSparseLinearLocal(LocalSolver):
+    """Per-processor state whose row block can be resliced at run time.
+
+    The dynamic load-balancing counterpart of
+    :class:`SparseLinearLocal` (the paper's companion IPDPS'03 line of
+    work couples balancing with asynchronism).  Differences that make
+    migration safe:
+
+    * data payloads are *self-describing* -- ``(src_rank, lo, values)``
+      with a global row offset -- so receivers integrate them without
+      any shared partition table; after a migration, in-flight updates
+      from the old owner and fresh ones from the new owner both land at
+      the right global rows (stale values are ordinary asynchronous
+      staleness, which the convergence theory tolerates);
+    * the data exchange is all-to-all (every rank offers its block to
+      every other), so dependency sets never have to be recomputed as
+      rows move -- the pattern the paper already describes for the
+      spread-diagonal matrix;
+    * empty blocks are legal: a rank that donated everything keeps
+      iterating (at loop-overhead cost) and keeps sending empty,
+      self-describing updates so freshness-based convergence guards
+      still hear from it.
+
+    ``give_rows`` / ``take_rows`` implement the actual reslicing; the
+    two-phase handoff around them lives in
+    :class:`repro.balancing.MigrationEngine`.
+    """
+
+    def __init__(
+        self,
+        problem: SparseLinearProblem,
+        rank: int,
+        size: int,
+        partition=None,
+    ) -> None:
+        if not 0 <= rank < size:
+            raise ValueError(f"rank {rank} out of range for size {size}")
+        self.problem = problem
+        self.rank = rank
+        self.size = size
+        partition = partition if partition is not None else BlockPartition(problem.n, size)
+        if partition.m != size or partition.n != problem.n:
+            raise ValueError("partition does not match problem/size")
+        self.lo, self.hi = partition.bounds(rank)
+        self._others = {r for r in range(size) if r != rank}
+        self.x = np.zeros(problem.n)
+        self.iterations_done = 0
+        self._refresh_flops()
+
+    # ------------------------------------------------------------------
+    def _refresh_flops(self) -> None:
+        if self.hi > self.lo:
+            self._flops_per_iter = self.problem.kernel.update_flops(self.lo, self.hi)
+        else:
+            # Loop overhead of an empty block: protocol bookkeeping,
+            # drain, convergence tracking.  Charging roughly one row's
+            # work keeps virtual time advancing (a zero-cost iteration
+            # would let an empty rank spin to the cap in zero time).
+            n = self.problem.n
+            self._flops_per_iter = (
+                self.problem.kernel.update_flops(0, 1) if n else 3.0
+            )
+
+    @property
+    def n_rows(self) -> int:
+        """Rows currently owned."""
+        return self.hi - self.lo
+
+    @property
+    def row_range(self) -> Tuple[int, int]:
+        """Current half-open global row range ``[lo, hi)``."""
+        return (self.lo, self.hi)
+
+    def migration_bytes_per_row(self) -> float:
+        """Wire bytes one migrated row costs.
+
+        A row travels with its solution entry, right-hand-side entry
+        and stored matrix entries (one per diagonal).  The in-process
+        backends share the immutable problem object, so only ``x`` is
+        physically copied -- but the simulator charges the honest
+        transfer size.
+        """
+        stored = self.problem.config.n_diagonals + 1
+        return BYTES_PER_VALUE * (2 + stored)
+
+    # ------------------------------------------------------------------
+    # LocalSolver protocol
+    # ------------------------------------------------------------------
+    def providers(self) -> Set[int]:
+        return set(self._others)
+
+    def receivers(self) -> Set[int]:
+        return set(self._others)
+
+    def initial_outgoing(self) -> Dict[int, Tuple[Any, float]]:
+        payload = (self.rank, self.lo, self.x[self.lo : self.hi].copy())
+        size_bytes = max(BYTES_PER_VALUE, BYTES_PER_VALUE * self.n_rows)
+        return {dst: (payload, size_bytes) for dst in self._others}
+
+    def integrate(self, src: int, payload) -> None:
+        _, lo, values = payload
+        hi = lo + len(values)
+        if lo < 0 or hi > self.problem.n:
+            raise ValueError(
+                f"payload from rank {src} spans [{lo}, {hi}), outside the "
+                f"problem range [0, {self.problem.n})"
+            )
+        if len(values):
+            self.x[lo:hi] = values
+
+    def iterate(self) -> LocalIteration:
+        if self.hi > self.lo:
+            new_block = self.problem.kernel.update_block(self.lo, self.hi, self.x)
+            residual = max_norm_diff(new_block, self.x[self.lo : self.hi])
+            self.x[self.lo : self.hi] = new_block
+            payload = (self.rank, self.lo, new_block.copy())
+        else:
+            # Empty block: trivially stationary, but still heard from.
+            residual = 0.0
+            payload = (self.rank, self.lo, _EMPTY_ROWS)
+        self.iterations_done += 1
+        size_bytes = max(BYTES_PER_VALUE, BYTES_PER_VALUE * self.n_rows)
+        outgoing = {dst: (payload, size_bytes) for dst in self._others}
+        return LocalIteration(
+            residual=residual, flops=self._flops_per_iter, outgoing=outgoing
+        )
+
+    def local_solution(self) -> np.ndarray:
+        return self.x[self.lo : self.hi].copy()
+
+    # ------------------------------------------------------------------
+    # reslicing (driven by the migration protocol)
+    # ------------------------------------------------------------------
+    def give_rows(self, count: int, to_rank: int) -> Tuple[int, int, np.ndarray]:
+        """Detach ``count`` boundary rows facing neighbour ``to_rank``.
+
+        Returns ``(lo, hi, values)`` -- the donated global range and its
+        current solution values -- and shrinks this block.  Rows only
+        ever move between adjacent ranks, so blocks stay contiguous and
+        rank order keeps matching global row order.
+        """
+        if not 1 <= count <= self.n_rows:
+            raise ValueError(
+                f"cannot give {count} rows from a block of {self.n_rows}"
+            )
+        if to_rank == self.rank - 1:
+            lo, hi = self.lo, self.lo + count
+            self.lo = hi
+        elif to_rank == self.rank + 1:
+            lo, hi = self.hi - count, self.hi
+            self.hi = lo
+        else:
+            raise ValueError(
+                f"rank {self.rank} can only give rows to a neighbour, "
+                f"not rank {to_rank}"
+            )
+        values = self.x[lo:hi].copy()
+        self._refresh_flops()
+        return lo, hi, values
+
+    def take_rows(self, lo: int, hi: int, values) -> None:
+        """Attach the donated global range ``[lo, hi)`` to this block."""
+        values = np.asarray(values, dtype=float)
+        if hi - lo != len(values):
+            raise ValueError(
+                f"range [{lo}, {hi}) carries {len(values)} values"
+            )
+        if hi <= lo:
+            raise ValueError(f"empty migration range [{lo}, {hi})")
+        if lo == self.hi:
+            self.hi = hi
+        elif hi == self.lo:
+            self.lo = lo
+        else:
+            raise ValueError(
+                f"migrated range [{lo}, {hi}) is not adjacent to "
+                f"block [{self.lo}, {self.hi})"
+            )
+        self.x[lo:hi] = values
+        self._refresh_flops()
+
+
+_EMPTY_ROWS = np.empty(0)
 
 
 def balanced_local_factory(problem: SparseLinearProblem, speeds):
@@ -269,6 +473,7 @@ __all__ = [
     "SparseLinearConfig",
     "SparseLinearProblem",
     "SparseLinearLocal",
+    "MigratableSparseLinearLocal",
     "PAPER_SPARSE_LINEAR",
     "spread_offsets",
     "make_sparse_linear_problem",

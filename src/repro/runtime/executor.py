@@ -106,22 +106,30 @@ def _interpret(
 ) -> None:
     value: Any = None
     start = time.monotonic()
+    busy = 0.0
     try:
         while True:
+            resumed = time.monotonic()
             try:
                 effect = coroutine.send(value)
             except StopIteration as stop:
+                if hasattr(stop.value, "busy_time"):
+                    stop.value.busy_time = busy
                 results[rank] = stop.value
                 return
             if isinstance(effect, fx.Now):
                 value = time.monotonic() - start
             elif isinstance(effect, fx.Compute):
-                # The flops already ran, in real time.  Yield the GIL at
-                # every iteration boundary: with vectorised kernels an
-                # iteration is far shorter than the interpreter's switch
-                # interval, and without an explicit yield one rank can
-                # spin through its whole freshness window while its
-                # peers (and their sends) never get scheduled.
+                # The flops already ran, in real time, between the
+                # previous resume and this yield: that span is the
+                # rank's busy time.
+                busy += time.monotonic() - resumed
+                # Yield the GIL at every iteration boundary: with
+                # vectorised kernels an iteration is far shorter than
+                # the interpreter's switch interval, and without an
+                # explicit yield one rank can spin through its whole
+                # freshness window while its peers (and their sends)
+                # never get scheduled.
                 time.sleep(0)
                 value = None
             elif isinstance(effect, fx.Sleep):

@@ -47,6 +47,9 @@ class Process:
         self.state = ProcessState.READY
         self.result: Any = None
         self.exception: Optional[BaseException] = None
+        #: Virtual seconds this process spent in Compute effects
+        #: (surfaced as per-rank busy time in run results).
+        self.busy_time: float = 0.0
         self._blocked_since: float = 0.0
         self._recv_timeout_event = None
 
@@ -131,6 +134,7 @@ class Process:
     def _do_compute(self, effect: fx.Compute) -> None:
         engine = self.world.engine
         duration = self.host.compute_time(effect.flops)
+        self.busy_time += duration
         start = engine.now
         self.world.trace.add_span(self.rank, start, start + duration, "compute", effect.label)
         engine.after(duration, lambda: self._advance(None), label=f"compute[{self.rank}]")

@@ -30,12 +30,17 @@ reproduce a failing generated scenario from its seed.
 
 from repro.testing.conformance import run_conformance, run_scenario_conformance
 from repro.testing.generator import GeneratorConfig, generate_scenarios
-from repro.testing.invariants import check_invariants, work_counters
+from repro.testing.invariants import (
+    check_invariants,
+    check_row_partition,
+    work_counters,
+)
 
 __all__ = [
     "GeneratorConfig",
     "generate_scenarios",
     "check_invariants",
+    "check_row_partition",
     "work_counters",
     "run_conformance",
     "run_scenario_conformance",

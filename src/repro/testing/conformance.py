@@ -192,6 +192,10 @@ def run_conformance(
     summary = {
         "scenarios": len(records),
         "faulty_scenarios": sum(1 for r in records if r["has_faults"]),
+        "balanced_scenarios": sum(
+            1 for s in scenarios
+            if s.balancer is not None and not s.balancer.is_noop
+        ),
         "windowed_fault_scenarios": len(windowed),
         "recovered_scenarios": len(recovered),
         "deterministic": all(r.get("deterministic") for r in records),

@@ -21,10 +21,11 @@ happen, observably, in the fault counters.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api import Scenario
+from repro.balancing import BalancingPlan
 from repro.api.faults import (
     FaultEvent,
     FaultPlan,
@@ -58,6 +59,12 @@ class GeneratorConfig:
     windowed_fraction: float = 0.5
     #: Fraction of scenarios using the (slower) chemical problem.
     chemical_fraction: float = 0.1
+    #: Fraction of eligible (asynchronous sparse) scenarios expanded
+    #: into a balanced/unbalanced *pair*: the same base scenario once
+    #: with the diffusion balancer and once with the no-op baseline,
+    #: both running the migratable machinery.  Each pair consumes two
+    #: of the ``n`` slots.
+    balanced_fraction: float = 0.25
     sparse_sizes: Tuple[int, ...] = (120, 160, 200, 260)
     max_iterations: int = 5000
 
@@ -68,6 +75,7 @@ class GeneratorConfig:
             ("fault_fraction", self.fault_fraction),
             ("windowed_fraction", self.windowed_fraction),
             ("chemical_fraction", self.chemical_fraction),
+            ("balanced_fraction", self.balanced_fraction),
         ]:
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1]")
@@ -198,11 +206,17 @@ def _windowed_event(
     )
 
 
-def _probe_makespan(scenario: Scenario) -> float:
-    """Deterministic fault-free makespan used to size timed windows."""
+def _probe_run(scenario: Scenario) -> Tuple[float, int]:
+    """Deterministic fault-free (makespan, max per-rank iterations).
+
+    The makespan sizes timed fault windows; the iteration count sizes
+    the freshness window attached to crash plans (it must be shorter
+    than the blackout, measured in iterations, to catch it).
+    """
     from repro.api import SimulatedBackend
 
-    return SimulatedBackend(trace=False).run(scenario).makespan
+    result = SimulatedBackend(trace=False).run(scenario)
+    return result.makespan, result.max_iterations
 
 
 def generate_scenarios(
@@ -213,14 +227,16 @@ def generate_scenarios(
     """``n`` deterministic random scenarios for seed ``seed``.
 
     Scenario names are ``gen<seed>-<index>-<problem>-<env>-r<ranks>``
-    with a ``+faults`` suffix when a fault plan is attached; the
-    conformance CLI's ``--filter`` matches on these names.
+    with a ``+faults`` suffix when a fault plan is attached and a
+    ``+lb`` / ``+lb-off`` suffix on balanced/unbalanced pair members;
+    the conformance CLI's ``--filter`` matches on these names.
     """
     if n < 1:
         raise ValueError("n must be >= 1")
     rng = random.Random(seed)
     scenarios: List[Scenario] = []
-    for index in range(n):
+    index = 0
+    while len(scenarios) < n:
         n_ranks = rng.randint(config.min_ranks, config.max_ranks)
         problem, problem_params, options = _pick_problem(rng, config, n_ranks)
         if problem == "chemical":
@@ -259,15 +275,64 @@ def generate_scenarios(
             asynchronous = environment != "sync_mpi"
             events = _timeless_events(rng) if asynchronous else []
             if not asynchronous or rng.random() < config.windowed_fraction:
-                makespan = _probe_makespan(scenario)
-                events.append(
-                    _windowed_event(rng, makespan, n_ranks, allow_crash=asynchronous)
+                makespan, probe_iters = _probe_run(scenario)
+                windowed = _windowed_event(
+                    rng, makespan, n_ranks, allow_crash=asynchronous
                 )
+                events.append(windowed)
+                if isinstance(windowed, RankCrash) and options is not None:
+                    # A crash blackout starves providers *silently*: with
+                    # only the heard-once freshness guard, the survivors
+                    # can believe convergence on data frozen at crash
+                    # time (split-brain -- worst with 2 ranks, where each
+                    # half converges against the other's stale block).
+                    # The sliding freshness window is the protocol's
+                    # answer: quiet providers veto local convergence, so
+                    # the run must outlast the blackout and re-converge
+                    # on fresh data.  Sized in iterations *inside* the
+                    # blackout (roughly half of it at the probed rate),
+                    # and never so tight that ordinary message gaps trip
+                    # it.
+                    blackout_iters = probe_iters * (
+                        (windowed.downtime or makespan) / max(makespan, 1e-9)
+                    )
+                    window = int(min(25, max(4, blackout_iters * 0.5)))
+                    scenario = scenario.derive(
+                        options=replace(options, freshness_window=window)
+                    )
             plan = FaultPlan(events=tuple(events), seed=rng.randrange(2**31))
             scenario = scenario.derive(
                 faults=plan, name=scenario.name + "+faults"
             )
-        scenarios.append(scenario)
+        # Balanced/unbalanced pairs: the same scenario once with the
+        # diffusion balancer and once with the no-op baseline (identical
+        # migratable machinery), so the sweep exercises row migration --
+        # including under whatever fault plan the scenario drew -- and
+        # the "no row lost or duplicated" invariant on both backends.
+        eligible_for_balancing = (
+            problem == "sparse_linear"
+            and environment != "sync_mpi"
+            and n_ranks >= 2
+            and len(scenarios) + 2 <= n
+        )
+        if eligible_for_balancing and rng.random() < config.balanced_fraction:
+            balancing = BalancingPlan(
+                policy="diffusion",
+                period=rng.choice((10, 15, 20)),
+                threshold=round(rng.uniform(0.05, 0.2), 3),
+            )
+            scenarios.append(
+                scenario.derive(balancer=balancing, name=scenario.name + "+lb")
+            )
+            scenarios.append(
+                scenario.derive(
+                    balancer=BalancingPlan(policy="none", period=balancing.period),
+                    name=scenario.name + "+lb-off",
+                )
+            )
+        else:
+            scenarios.append(scenario)
+        index += 1
     return scenarios
 
 

@@ -12,7 +12,11 @@ the protocol properties the paper's comparison discipline relies on,
   true solution (the sparse linear system does), a global solution
   error within tolerance;
 * **fault accounting** -- a fault-free scenario reports no fault
-  counters, and counter values are non-negative.
+  counters, and counter values are non-negative;
+* **row conservation** -- when the scenario balances load dynamically,
+  the per-rank row ranges at halt must partition ``range(n)`` exactly
+  (contiguous, ascending with rank, no row lost or duplicated by
+  migrations) and the donor/receiver migration counters must agree.
 
 ``check_invariants`` returns a list of human-readable violation
 strings (empty = all green); :func:`work_counters` extracts the
@@ -99,6 +103,10 @@ def check_invariants(
                     f"exceeds tolerance band {eps * TOLERANCE_SLACK:.3e}"
                 )
 
+    # Row conservation under dynamic load balancing.
+    if scenario.balancer is not None:
+        violations.extend(check_row_partition(result, problem))
+
     # Fault accounting.
     plan = scenario.faults
     if (plan is None or plan.is_empty) and result.faults:
@@ -111,6 +119,57 @@ def check_invariants(
 
     if result.makespan < 0:
         violations.append(f"negative makespan {result.makespan}")
+    return violations
+
+
+def check_row_partition(
+    result: RunResult, problem: Optional[Any]
+) -> List[str]:
+    """No row lost or duplicated after migrations.
+
+    The per-rank ``meta["rows"]`` ranges must tile ``range(n)``
+    contiguously in rank order, and every row a donor detached must
+    have been integrated somewhere (``rows_out == rows_in`` summed over
+    ranks).
+    """
+    violations: List[str] = []
+    spans = []
+    for rank, report in sorted(result.reports.items()):
+        rows = report.meta.get("rows") if isinstance(report.meta, dict) else None
+        if rows is None or len(rows) != 2:
+            violations.append(
+                f"rank {rank}: balanced run reported no row range in meta"
+            )
+            return violations
+        spans.append((rank, int(rows[0]), int(rows[1])))
+    cursor = 0
+    for rank, lo, hi in spans:
+        if hi < lo:
+            violations.append(f"rank {rank}: inverted row range [{lo}, {hi})")
+            return violations
+        if lo != cursor:
+            violations.append(
+                f"rank {rank}: row range starts at {lo}, expected {cursor} "
+                "(rows lost or duplicated by migrations)"
+            )
+            return violations
+        cursor = hi
+    n = getattr(problem, "n", None)
+    if n is not None and cursor != n:
+        violations.append(
+            f"row ranges cover [0, {cursor}) but the problem has {n} rows"
+        )
+    totals = result.balancing  # counters summed over ranks
+    if totals.get("rows_out", 0) != totals.get("rows_in", 0):
+        violations.append(
+            f"migration accounting disagrees: {totals.get('rows_out', 0)} rows "
+            f"donated but {totals.get('rows_in', 0)} integrated"
+        )
+    if totals.get("migrations_out", 0) != totals.get("migrations_in", 0):
+        violations.append(
+            f"handoff accounting disagrees: {totals.get('migrations_out', 0)} "
+            f"commits sent but {totals.get('migrations_in', 0)} integrated"
+        )
     return violations
 
 
@@ -141,4 +200,4 @@ def work_counters(result: RunResult) -> Dict[str, Any]:
     }
 
 
-__all__ = ["check_invariants", "work_counters", "TOLERANCE_SLACK"]
+__all__ = ["check_invariants", "check_row_partition", "work_counters", "TOLERANCE_SLACK"]

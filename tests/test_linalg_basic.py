@@ -110,10 +110,13 @@ def test_partition_scatter_gather_roundtrip():
 
 
 def test_partition_validation():
-    with pytest.raises(ValueError):
-        BlockPartition(3, 5)
+    # m > n is legal since row migration can empty a block: the extra
+    # blocks are zero-width (see tests/test_load_balancing.py).
+    assert BlockPartition(3, 5).sizes() == [1, 1, 1, 0, 0]
     with pytest.raises(ValueError):
         BlockPartition(3, 0)
+    with pytest.raises(ValueError):
+        BlockPartition(-1, 2)
     with pytest.raises(IndexError):
         BlockPartition(10, 2).bounds(2)
     with pytest.raises(IndexError):

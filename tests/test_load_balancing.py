@@ -80,6 +80,50 @@ def test_weighted_partition_validation():
         WeightedPartition(10, [1.0]).bounds(1)
 
 
+# ----------------------------------------------------------------------
+# empty blocks (what dynamic migration can legitimately produce)
+# ----------------------------------------------------------------------
+def test_block_partition_allows_more_blocks_than_elements():
+    from repro.linalg.partition import BlockPartition
+
+    part = BlockPartition(3, 5)
+    assert part.sizes() == [1, 1, 1, 0, 0]
+    assert part.bounds(3) == (3, 3) and part.bounds(4) == (3, 3)
+    # Translation around a zero-width block stays coherent.
+    for idx in range(3):
+        owner = part.owner(idx)
+        assert part.to_local(owner, idx) == idx - part.bounds(owner)[0]
+    with pytest.raises(IndexError):
+        part.to_local(3, 3)  # nothing is local to an empty block
+    x = np.arange(3.0)
+    pieces = part.scatter(x)
+    assert [len(p) for p in pieces] == [1, 1, 1, 0, 0]
+    assert np.array_equal(part.gather(pieces), x)
+
+
+def test_block_partition_still_rejects_bad_shapes():
+    from repro.linalg.partition import BlockPartition
+
+    with pytest.raises(ValueError):
+        BlockPartition(-1, 2)
+    with pytest.raises(ValueError):
+        BlockPartition(5, 0)
+
+
+def test_weighted_partition_from_sizes_with_zero_blocks():
+    part = WeightedPartition.from_sizes([3, 0, 2])
+    assert part.n == 5 and part.m == 3
+    assert part.sizes() == [3, 0, 2]
+    assert part.bounds(1) == (3, 3)
+    assert part.owner(3) == 2  # empty block owns nothing
+    x = np.arange(5.0)
+    assert np.array_equal(part.gather(part.scatter(x)), x)
+    with pytest.raises(ValueError):
+        WeightedPartition.from_sizes([])
+    with pytest.raises(ValueError):
+        WeightedPartition.from_sizes([2, -1])
+
+
 @given(
     n=st.integers(5, 300),
     weights=st.lists(st.floats(0.1, 10.0), min_size=1, max_size=5),

@@ -134,3 +134,15 @@ def test_rank_out_of_range_rejected():
         p.make_local(4, 4)
     with pytest.raises(ValueError):
         p.make_local(-1, 4)
+
+
+def test_static_solver_rejects_more_ranks_than_rows():
+    # BlockPartition itself allows m > n (zero-width blocks, for row
+    # migration), but the *static* solver has no empty-block handling:
+    # it must keep failing fast instead of spinning to the cap.
+    p = SparseLinearProblem(SparseLinearConfig(n=40, n_diagonals=4))
+    with pytest.raises(ValueError, match="owns no rows"):
+        p.make_local(44, 45)
+    # The migratable solver accepts the same shape.
+    migratable = p.make_migratable(44, 45)
+    assert migratable.n_rows == 0
