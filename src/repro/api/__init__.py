@@ -7,9 +7,10 @@ comparison first-class:
 * :class:`Scenario` -- a frozen description of one run (problem,
   environment, cluster preset, algorithm, options, seed), fully
   expressible as a plain JSON dict via string registries;
-* :class:`SimulatedBackend` / :class:`ThreadedBackend` -- two
-  interpreters of the same scenario value (discrete-event simulation
-  versus real threads), both returning the unified :class:`RunResult`;
+* :class:`SimulatedBackend` / :class:`ThreadedBackend` /
+  :class:`ProcessBackend` -- three interpreters of the same scenario
+  value (discrete-event simulation, real threads, real multi-core OS
+  processes), all returning the unified :class:`RunResult`;
 * :func:`sweep` -- the grid runner fanning scenario lists over a
   ``multiprocessing`` pool into JSON-serializable records.
 
@@ -36,6 +37,7 @@ semantics), ``docs/benchmarking.md`` (the ``repro bench`` harness).
 
 from repro.api.backends import (
     Backend,
+    ProcessBackend,
     SimulatedBackend,
     ThreadedBackend,
     get_backend,
@@ -96,6 +98,7 @@ __all__ = [
     "Backend",
     "SimulatedBackend",
     "ThreadedBackend",
+    "ProcessBackend",
     "register_backend",
     "get_backend",
     "list_backends",

@@ -1,4 +1,4 @@
-"""Execution backends: one :class:`Scenario`, two ways to run it.
+"""Execution backends: one :class:`Scenario`, three ways to run it.
 
 * :class:`SimulatedBackend` binds the scenario to the discrete-event
   simulator (:mod:`repro.simgrid`) through the same machinery as the
@@ -6,15 +6,20 @@
   backend stay makespan-identical by construction;
 * :class:`ThreadedBackend` interprets the same worker coroutines on
   real Python threads (:mod:`repro.runtime`), validating protocol
-  correctness outside the simulation.
+  correctness outside the simulation;
+* :class:`ProcessBackend` interprets them on real OS processes
+  (:mod:`repro.runtime.process_hub`) with picklable queue channels --
+  no shared GIL, so compute-bound multi-rank scenarios get genuine
+  parallel wall-clock speedups on multi-core hosts.
 
 A scenario's :class:`~repro.api.faults.FaultPlan` is compiled here:
 the simulated backend installs every fault kind on the
-``World``/``Network``/``Link`` layer, the threaded backend honours the
-loss/duplication/reorder/crash subset on its channel layer, and both
-report what happened through :attr:`RunResult.faults`.
+``World``/``Network``/``Link`` layer, the threaded and process
+backends honour the loss/duplication/reorder/crash subset on their
+channel layers, and all report what happened through
+:attr:`RunResult.faults`.
 
-Both return the unified :class:`repro.api.result.RunResult`.  Backends
+All return the unified :class:`repro.api.result.RunResult`.  Backends
 are plain picklable dataclasses, addressable by name through
 ``get_backend`` so sweeps can ship them across process pools.
 """
@@ -81,9 +86,60 @@ def list_backends() -> List[str]:
     """Sorted names of all registered backends::
 
         >>> list_backends()
-        ['simulated', 'threaded']
+        ['process', 'simulated', 'threaded']
     """
     return BACKEND_REGISTRY.names()
+
+
+def scenario_coroutine_factory(
+    scenario: Scenario, make_solver: Optional[Callable] = None
+) -> Callable:
+    """Resolve a scenario into a ``(rank, size) -> worker generator``.
+
+    The one resolution path shared by every in-process interpreter of
+    the coroutines: the threaded backend calls it directly, and each
+    worker process of the process backend calls it after rebuilding the
+    scenario from its dict -- so the two real-concurrency backends can
+    never drift in how they bind problems, workers, options and
+    balancing plans.
+    """
+    problem = scenario.build_problem()
+    worker = get_worker(scenario.resolve_worker(problem))
+    opts = scenario.resolved_options(problem)
+    factory = make_solver or problem.make_local
+    make_balancer = None
+    if scenario.balancer is not None:
+        from repro.balancing import compile_plan
+
+        factory, make_balancer = compile_plan(scenario, problem, make_solver)
+    if make_balancer is not None:
+        def make_coroutine(rank: int, size: int):
+            return worker(
+                rank, size, factory(rank, size), opts,
+                balancer=make_balancer(rank, size),
+            )
+    else:
+        def make_coroutine(rank: int, size: int):
+            return worker(rank, size, factory(rank, size), opts)
+    return make_coroutine
+
+
+def scenario_message_fault_injector(scenario: Scenario, stream: int = 0):
+    """The channel-layer fault injector a scenario calls for, or ``None``.
+
+    Only the message-level subset applies to in-process/queue channels:
+    a plan holding nothing but link/host windows must not pay for the
+    fault-aware channel path (its receives poll instead of blocking).
+    ``stream`` selects a decorrelated per-rank RNG stream for the
+    process backend; the threaded backend uses the default stream 0.
+    """
+    if scenario.faults is None or not scenario.faults.message_events():
+        return None
+    from repro.runtime.faults import ThreadFaultInjector
+
+    return ThreadFaultInjector(
+        scenario.faults, default_seed=scenario.seed, stream=stream
+    )
 
 
 @register_backend("simulated")
@@ -187,37 +243,69 @@ class ThreadedBackend:
         scenario: Scenario,
         make_solver: Optional[Callable] = None,
     ) -> RunResult:
-        problem = scenario.build_problem()
-        worker = get_worker(scenario.resolve_worker(problem))
-        opts = scenario.resolved_options(problem)
-        factory = make_solver or problem.make_local
-        make_balancer = None
-        if scenario.balancer is not None:
-            from repro.balancing import compile_plan
-
-            factory, make_balancer = compile_plan(scenario, problem, make_solver)
-        injector = None
-        # Only the message-level subset applies to in-process channels:
-        # a plan holding nothing but link/host windows must not pay for
-        # the fault-aware hub (its receives poll instead of blocking).
-        if scenario.faults is not None and scenario.faults.message_events():
-            from repro.runtime.faults import ThreadFaultInjector
-
-            injector = ThreadFaultInjector(scenario.faults, default_seed=scenario.seed)
-        if make_balancer is not None:
-            def make_coroutine(rank: int, size: int):
-                return worker(
-                    rank, size, factory(rank, size), opts,
-                    balancer=make_balancer(rank, size),
-                )
-        else:
-            def make_coroutine(rank: int, size: int):
-                return worker(rank, size, factory(rank, size), opts)
+        make_coroutine = scenario_coroutine_factory(scenario, make_solver)
+        injector = scenario_message_fault_injector(scenario)
         outcome = _run_threaded(
             make_coroutine,
             scenario.n_ranks,
             timeout=self.timeout,
             faults=injector,
+        )
+        return RunResult(
+            makespan=outcome.elapsed,
+            reports=dict(outcome.results),
+            backend=self.name,
+            elapsed=outcome.elapsed,
+            scenario=scenario,
+            backend_stats={"messages_sent": outcome.messages_sent},
+            faults=dict(outcome.faults),
+        )
+
+
+@register_backend("process")
+@dataclass
+class ProcessBackend:
+    """Run scenarios with one real OS process per rank.
+
+    The only backend that escapes the GIL: ranks execute on separate
+    cores, channels are picklable ``multiprocessing`` queues, and
+    ``makespan`` is wall-clock seconds for a *genuinely parallel* run.
+    The cluster topology and communication policy do not apply (as on
+    the threaded backend); the loss/duplication/reorder/crash fault
+    subset, dynamic load balancing and per-rank progress accounting
+    all do::
+
+        result = ProcessBackend(timeout=120.0).run(scenario)
+
+    ``start_method`` forces a ``multiprocessing`` start method
+    (``"spawn"``/``"fork"``/``"forkserver"``); the child bootstrap
+    re-imports :mod:`repro.api`, so registries survive spawn.  A run
+    that exceeds ``timeout`` is reaped (children terminated) and raises
+    :class:`~repro.runtime.process_hub.ProcessTimeoutError`.  See
+    ``docs/backends.md``.
+    """
+
+    name: ClassVar[str] = "process"
+
+    timeout: float = 120.0
+    start_method: Optional[str] = None
+
+    def run(
+        self,
+        scenario: Scenario,
+        make_solver: Optional[Callable] = None,
+    ) -> RunResult:
+        if make_solver is not None:
+            raise ValueError(
+                "ProcessBackend rebuilds solvers from the scenario inside "
+                "each worker process; a make_solver override cannot cross "
+                "the process boundary (use the scenario's problem_params, "
+                "or the simulated/threaded backends)"
+            )
+        from repro.runtime.process_hub import run_processes
+
+        outcome = run_processes(
+            scenario, timeout=self.timeout, start_method=self.start_method
         )
         return RunResult(
             makespan=outcome.elapsed,
@@ -264,5 +352,8 @@ __all__ = [
     "list_backends",
     "SimulatedBackend",
     "ThreadedBackend",
+    "ProcessBackend",
     "run_scenario",
+    "scenario_coroutine_factory",
+    "scenario_message_fault_injector",
 ]

@@ -69,6 +69,9 @@ def sweep(
     processes:
         Pool size; ``1`` runs in-process (easier debugging, identical
         records -- the simulated backend is deterministic either way).
+        The process backend always sweeps in-process: pool workers are
+        daemonic and may not spawn the backend's per-rank children,
+        and the backend parallelises internally anyway.
     include_solution:
         Store per-rank solution vectors in each record.
 
@@ -93,6 +96,13 @@ def sweep(
         backend = SimulatedBackend()
     elif isinstance(backend, str):
         backend = get_backend(backend)
+    if getattr(backend, "name", None) == "process" and processes > 1:
+        # Pool workers are daemonic and may not spawn children, so the
+        # process backend cannot run inside a pool at all -- and it
+        # already parallelises internally (one OS process per rank), so
+        # a serial sweep still uses every core.  Route it in-process
+        # instead of failing every job.
+        processes = 1
     jobs = []
     records: Dict[int, Dict[str, Any]] = {}
     total = 0

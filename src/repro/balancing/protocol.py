@@ -28,6 +28,15 @@ reorder shake the asynchronous updates -- never a handoff.
    vector slices.  The receiver integrates them (``take_rows`` -- the
    commit point on its side) and confirms with ``ack``.
 
+Every protocol message is a plain tuple of ints/floats plus (for
+``commit``) one contiguous float64 array, so the identical handoff
+travels as an in-memory reference on the simulated/threaded backends
+and as a pickled payload over the process backend's queue channels --
+:meth:`MigrationEngine._on_accept` normalises the donated values at
+the commit point precisely so a custom solver returning a view, a
+list or a float32 slice cannot produce a wire payload that integrates
+differently across processes than in memory.
+
 Rows are therefore owned by exactly one rank at every instant: the
 donor until ``commit`` is sent, the receiver from the moment it is
 integrated.  While a handoff is in flight both ends report
@@ -41,6 +50,8 @@ duplicated -- the invariant ``repro.testing`` checks at halt.
 from __future__ import annotations
 
 from typing import Any, Dict, Generator, Optional
+
+import numpy as np
 
 from repro.balancing.estimator import RateEstimator
 from repro.balancing.policy import BalancingPlan, RankLoad, get_balancer
@@ -245,6 +256,11 @@ class MigrationEngine:
             self._out = None
             return False
         lo, hi, values = solver.give_rows(k, src)
+        # Normalise the donated block into its wire form (owned,
+        # contiguous, float64): the payload must mean the same thing
+        # whether it travels by reference (simulated/threaded channels)
+        # or by pickle (the process backend's queues).
+        values = np.ascontiguousarray(values, dtype=float)
         out["state"] = "committed"
         size = CTL_BYTES + (hi - lo) * solver.migration_bytes_per_row()
         yield Send(

@@ -193,6 +193,47 @@ DEFAULT_SUITE: List[BenchCase] = [
         },
         tags=(QUICK,),
     ),
+    # -- threaded vs process: the GIL-escape pair ----------------------
+    # One compute-bound scenario (heavy DIA mat-vec per iteration,
+    # payloads small next to the flops), once on thread-per-rank and
+    # once on process-per-rank.  On a multi-core host the process run's
+    # ranks execute in parallel while the threaded run serialises on
+    # the GIL, so the pair records what escaping the interpreter lock
+    # actually buys (single-core hosts instead record the process
+    # backend's spawn/IPC overhead -- the environment fingerprint's
+    # ``cpu_count`` says which regime a payload measured).
+    BenchCase(
+        name="scenario/sparse_compute_bound_threaded_r4",
+        kind="scenario",
+        scenario={
+            "problem": "sparse_linear",
+            "problem_params": {"n": 40_000, "n_diagonals": 100,
+                               "dominance": 0.85,
+                               "sign_structure": "negative"},
+            "environment": "pm2",
+            "n_ranks": 4,
+            "seed": 42,
+        },
+        backend="threaded",
+        tags=("gil_pair",),
+        deterministic_counters=False,
+    ),
+    BenchCase(
+        name="scenario/sparse_compute_bound_process_r4",
+        kind="scenario",
+        scenario={
+            "problem": "sparse_linear",
+            "problem_params": {"n": 40_000, "n_diagonals": 100,
+                               "dominance": 0.85,
+                               "sign_structure": "negative"},
+            "environment": "pm2",
+            "n_ranks": 4,
+            "seed": 42,
+        },
+        backend="process",
+        tags=("gil_pair",),
+        deterministic_counters=False,
+    ),
     # -- hot-path kernels ----------------------------------------------
     BenchCase(
         name="kernel/sparse_matvec",

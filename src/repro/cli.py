@@ -23,11 +23,13 @@ Installed as the ``repro`` command (see ``setup.py``); also runnable as
     fail the command.  See ``docs/benchmarking.md``.
 
 ``repro conformance [--n N] [--seed S] [--filter SUBSTR]
-[--report PATH] [--timeout T] [--simulated-only]``
+[--report PATH] [--timeout T] [--simulated-only] [--skip-process]``
     Generate N seeded random scenarios (fault plans included) and
-    sweep them through both backends with the invariant checkers of
-    :mod:`repro.testing`; ``--report`` writes the JSON conformance
-    report.  See ``docs/testing.md``.
+    sweep them through the three-way simulated/threaded/process parity
+    battery with the invariant checkers of :mod:`repro.testing`;
+    ``--report`` writes the JSON conformance report.  Hung
+    threaded/process runs are reaped after ``--timeout`` seconds and
+    reported as per-scenario failures.  See ``docs/testing.md``.
 
 Exit status: 0 on success, 1 on scenario/conformance failures, 2 on
 bad input, 3 on benchmark regressions.
@@ -171,12 +173,16 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         print(f"error: --timeout must be > 0, got {args.timeout}", file=sys.stderr)
         return 2
 
+    def backend_mark(record, name: str) -> str:
+        if name in record.get("timed_out", ()):
+            return "HUNG"
+        summary = record[name]
+        if summary is None:
+            return "-"
+        return "conv" if summary["converged"] else "cap"
+
     def progress(record) -> None:
         sim = record["simulated"] or {}
-        threaded = record["threaded"]
-        threaded_mark = (
-            "-" if threaded is None else ("conv" if threaded["converged"] else "cap")
-        )
         marker = "ok" if record["ok"] else "FAIL"
         faults = sim.get("faults") or {}
         fault_note = (
@@ -185,7 +191,8 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         )
         print(
             f"{record['name']:<52} {marker:>4}  sim {sim.get('makespan', 0):9.4f}s"
-            f"  threaded {threaded_mark:>4}{fault_note}"
+            f"  threaded {backend_mark(record, 'threaded'):>4}"
+            f"  process {backend_mark(record, 'process'):>4}{fault_note}"
         )
 
     report = run_conformance(
@@ -194,6 +201,7 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         filter=args.filter,
         threaded=not args.simulated_only,
         threaded_timeout=args.timeout,
+        process=not (args.simulated_only or args.skip_process),
         progress=progress,
     )
     if args.report:
@@ -302,10 +310,10 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Generate N seeded random scenarios (problem size, cluster "
             "heterogeneity, comm policy, fault plan), run each on the "
-            "simulated and threaded backends, and assert the invariants: "
-            "sound convergence detection, success implies tolerance, "
-            "deterministic work counters for a fixed seed, cross-backend "
-            "agreement. See docs/testing.md."
+            "simulated, threaded and process backends, and assert the "
+            "invariants: sound convergence detection, success implies "
+            "tolerance, deterministic work counters for a fixed seed, "
+            "cross-backend agreement. See docs/testing.md."
         ),
     )
     conformance_parser.add_argument(
@@ -327,11 +335,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     conformance_parser.add_argument(
         "--timeout", type=float, default=60.0, metavar="T",
-        help="per-scenario threaded-backend timeout in seconds (default: 60)",
+        help="per-scenario timeout for the threaded/process backends; a "
+        "hung run is reaped and reported as that scenario's failure "
+        "(default: 60)",
     )
     conformance_parser.add_argument(
         "--simulated-only", action="store_true",
-        help="skip the threaded backend (faster; simulator invariants only)",
+        help="skip the threaded and process backends (faster; simulator "
+        "invariants only)",
+    )
+    conformance_parser.add_argument(
+        "--skip-process", action="store_true",
+        help="skip only the process backend (two-way simulated/threaded "
+        "parity)",
     )
     conformance_parser.set_defaults(func=_cmd_conformance)
     return parser

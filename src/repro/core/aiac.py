@@ -147,6 +147,7 @@ def _aiac_inner(
     last_meta: Dict[str, Any] = {}
     providers = solver.providers()
     last_heard: Dict[int, int] = {}
+    last_measured = float("inf")
 
     while iterations < opts.max_iterations:
         # Receipts happen "at any time" in separate threads; by drain
@@ -190,6 +191,7 @@ def _aiac_inner(
                 scheduler.skip()
 
         residual = result.residual
+        last_measured = residual
         if opts.require_fresh_data and not providers <= last_heard.keys():
             residual = float("inf")  # dependencies not heard from yet
         elif opts.freshness_window is not None and any(
@@ -228,11 +230,23 @@ def _aiac_inner(
         # still in flight so the global row set stays a partition.
         yield from balancer.finalize(solver)
 
+    # The tracker's residual can be an *artificial* infinity at exit: a
+    # migration in flight (or a freshness hold) overrides the measured
+    # value to veto convergence, and a stop signal can race that
+    # override -- the coordinator halted on this rank's earlier, honest
+    # convergence report.  Such a halt is legitimate (rows are resolved
+    # by the finalizer, the solution was converged when it moved), so
+    # report the last *measured* update norm rather than the protocol
+    # hold, keeping "success implies finite residual" truthful.
+    final_residual = tracker.last_residual
+    if stopped and not final_residual < float("inf"):
+        final_residual = last_measured
+
     return _InnerResult(
         iterations=iterations,
         converged=tracker.converged or stopped,
         stopped=stopped,
-        residual=tracker.last_residual,
+        residual=final_residual,
         sends=scheduler.sent,
         skipped=scheduler.skipped,
         state_messages=state_messages,

@@ -25,6 +25,15 @@ from typing import Dict, List, Optional
 from repro.simgrid.message import Message, drain_tagged
 
 
+class ChannelClosed(RuntimeError):
+    """The hub was closed (timeout reap) while a worker was using it.
+
+    Raised out of ``post``/``receive`` so a worker thread blocked on a
+    channel exits promptly instead of waiting forever on messages that
+    can no longer arrive; the executor turns it into the rank's error.
+    """
+
+
 class _RankBox:
     """One rank's mailbox: per-tag queues behind the rank's own lock."""
 
@@ -44,7 +53,21 @@ class ChannelHub:
         if size < 1:
             raise ValueError("size must be >= 1")
         self.size = size
+        self._closed = False
         self._boxes = [_RankBox() for _ in range(size)]
+
+    def close(self) -> None:
+        """Poison the hub: wake every blocked receive, fail new traffic.
+
+        The timeout-reap path of the executor: threads stuck in
+        :meth:`receive` wake up and see :class:`ChannelClosed`, so a
+        hung run is torn down instead of leaking blocked threads.
+        Idempotent; never called on the happy path.
+        """
+        self._closed = True
+        for box in self._boxes:
+            with box.condition:
+                box.condition.notify_all()
 
     @property
     def messages_sent(self) -> int:
@@ -56,6 +79,8 @@ class ChannelHub:
         """Deliver a message to its destination mailbox (thread-safe)."""
         if not 0 <= message.dst < self.size:
             raise KeyError(f"unknown destination rank {message.dst}")
+        if self._closed:
+            raise ChannelClosed("channel hub closed (run reaped)")
         box = self._boxes[message.dst]
         with box.condition:
             message.delivered_at = time.monotonic()
@@ -93,6 +118,8 @@ class ChannelHub:
         needed = max(1, count)
         with box.condition:
             while self._count_locked(box, tag) < needed:
+                if self._closed:
+                    raise ChannelClosed("channel hub closed (run reaped)")
                 remaining = None
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
@@ -118,4 +145,4 @@ class ChannelHub:
             return self._count_locked(box, tag)
 
 
-__all__ = ["ChannelHub"]
+__all__ = ["ChannelHub", "ChannelClosed"]

@@ -33,8 +33,22 @@ from repro.simgrid.message import Message
 _MAX_SLEEP = 0.1
 
 
+class BackendTimeoutError(RuntimeError):
+    """A backend run exceeded its wall-clock timeout and was reaped.
+
+    Base class shared by the threaded and process backends so callers
+    (the conformance driver's ``--timeout`` handling in particular) can
+    distinguish "the run hung and was torn down" from an ordinary
+    worker error without knowing which backend ran.
+    """
+
+
 class ThreadWorkerError(RuntimeError):
     """A worker thread raised; re-raised on join with rank context."""
+
+
+class ThreadTimeoutError(ThreadWorkerError, BackendTimeoutError):
+    """The threaded run blew its timeout; the hub was closed to reap it."""
 
 
 @dataclass
@@ -213,12 +227,28 @@ def _run_threaded(
         for rank in range(n_ranks)
     ]
     start = time.monotonic()
+    deadline = start + timeout
     for thread in threads:
         thread.start()
+    hung = None
     for thread in threads:
-        thread.join(timeout)
+        # One shared deadline for the whole run (not per thread): a run
+        # of n ranks can never stall the caller for n * timeout.
+        thread.join(max(0.0, deadline - time.monotonic()))
         if thread.is_alive():
-            raise ThreadWorkerError(f"{thread.name} did not finish within {timeout}s")
+            hung = thread
+            break
+    if hung is not None:
+        # Reap, don't leak: poison the hub so receives blocked without a
+        # timeout wake up and fail, break the barrier for anyone parked
+        # on it, then give the threads a moment to unwind.
+        hub.close()
+        barrier.abort()
+        for thread in threads:
+            thread.join(1.0)
+        raise ThreadTimeoutError(
+            f"{hung.name} did not finish within {timeout}s (run reaped)"
+        )
     elapsed = time.monotonic() - start
     if errors:
         rank, exc = sorted(errors.items())[0]
@@ -264,4 +294,10 @@ def run_threaded(
     return _run_threaded(make_coroutine, n_ranks, timeout=timeout)
 
 
-__all__ = ["run_threaded", "ThreadRunResult", "ThreadWorkerError"]
+__all__ = [
+    "run_threaded",
+    "ThreadRunResult",
+    "ThreadWorkerError",
+    "ThreadTimeoutError",
+    "BackendTimeoutError",
+]

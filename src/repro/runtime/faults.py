@@ -42,16 +42,53 @@ from repro.runtime.channels import ChannelHub
 from repro.simgrid.faults import FaultDecision, decide_message_fate
 from repro.simgrid.message import Message
 
-#: Wait slice for blocking receives while delayed messages are pending.
+#: Wait slice for blocking receives while delayed messages are pending
+#: (shared with the process backend's endpoint).
 _RECEIVE_SLICE = 0.02
 
 
-class ThreadFaultInjector:
-    """Wall-clock interpretation of the message-level fault subset."""
+def apply_fault_decision(decision, message, deliver, delay) -> None:
+    """Apply one :class:`~repro.simgrid.faults.FaultDecision` to a message.
 
-    def __init__(self, plan: FaultPlan, default_seed: Optional[int] = None) -> None:
+    The single decision-application path shared by both channel layers
+    (:class:`FaultyChannelHub` and the process backend's
+    :class:`~repro.runtime.process_hub.ProcessEndpoint`), so drop/
+    duplicate/delay handling can never drift between them.  ``deliver``
+    posts a message now; ``delay(due, message)`` stashes it until the
+    wall-clock due time.
+    """
+    if decision.drop:
+        return
+    if decision.extra_delay > 0.0:
+        due = time.monotonic() + decision.extra_delay
+        delay(due, message)
+        if decision.duplicate:
+            delay(due, message.clone())
+        return
+    deliver(message)
+    if decision.duplicate:
+        deliver(message.clone())
+
+
+class ThreadFaultInjector:
+    """Wall-clock interpretation of the message-level fault subset.
+
+    ``stream`` selects a decorrelated RNG stream derived from the
+    plan's seed: the threaded backend runs one injector for the whole
+    hub (stream 0, the plan seed unchanged), while the process backend
+    runs one injector *per rank* -- same plan, per-rank streams -- so
+    sender processes make independent but still seed-reproducible
+    decisions without sharing an RNG across process boundaries.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        default_seed: Optional[int] = None,
+        stream: int = 0,
+    ) -> None:
         self.plan = plan
-        self._rng = random.Random(plan.rng_seed(default_seed))
+        self._rng = random.Random(plan.rng_seed(default_seed) + 1_000_003 * stream)
         self._lock = threading.Lock()
         self.counters: Dict[str, int] = {}
         self._message_events = plan.select(
@@ -63,9 +100,15 @@ class ThreadFaultInjector:
     def _count(self, key: str, by: int = 1) -> None:
         self.counters[key] = self.counters.get(key, 0) + by
 
-    def start(self) -> None:
-        """Anchor the plan's time axis to the run's wall-clock start."""
-        self._t0 = time.monotonic()
+    def start(self, t0: Optional[float] = None) -> None:
+        """Anchor the plan's time axis to the run's wall-clock start.
+
+        ``t0`` (a ``time.monotonic`` reading) lets the process backend
+        hand every rank's injector the *same* anchor: ``CLOCK_MONOTONIC``
+        is system-wide, so fault windows open and close at one shared
+        instant across all worker processes.
+        """
+        self._t0 = time.monotonic() if t0 is None else t0
 
     def now(self) -> float:
         """Seconds since run start (0.0 before :meth:`start`)."""
@@ -121,19 +164,14 @@ class FaultyChannelHub(ChannelHub):
     def post(self, message: Message) -> None:
         self._flush_due()
         decision = self.injector.on_send(message, self.injector.now())
-        if decision.drop:
-            return
-        if decision.extra_delay > 0.0:
-            due = time.monotonic() + decision.extra_delay
-            with self._delayed_lock:
-                heapq.heappush(self._delayed, (due, message.uid, message))
-                if decision.duplicate:
-                    dup = message.clone()
-                    heapq.heappush(self._delayed, (due, dup.uid, dup))
-            return
+        apply_fault_decision(decision, message, self._post_now, self._stash)
+
+    def _post_now(self, message: Message) -> None:
         super().post(message)
-        if decision.duplicate:
-            super().post(message.clone())
+
+    def _stash(self, due: float, message: Message) -> None:
+        with self._delayed_lock:
+            heapq.heappush(self._delayed, (due, message.uid, message))
 
     def _flush_due(self) -> None:
         if not self._delayed:
@@ -185,4 +223,4 @@ class FaultyChannelHub(ChannelHub):
                 return messages
 
 
-__all__ = ["ThreadFaultInjector", "FaultyChannelHub"]
+__all__ = ["ThreadFaultInjector", "FaultyChannelHub", "apply_fault_decision"]

@@ -8,13 +8,18 @@ For every generated scenario the driver:
 2. checks the :mod:`~repro.testing.invariants` on the simulated result
    and requires it to converge (the generator only emits survivable
    plans);
-3. runs the **threaded** backend on the *same scenario value*, checks
-   the same invariants, and -- for fault-free scenarios -- requires
-   convergence agreement with the simulator (both reach tolerance);
-   a faulty scenario on real threads must stay *sound* (no premature
-   halt, success implies tolerance) but wall-clock fault windows are
-   allowed to change whether it converges before the iteration cap;
-4. across the sweep, requires that at least one windowed fault plan
+3. runs the **threaded** and **process** backends on the *same
+   scenario value* (three-way parity), checks the same invariants on
+   each, and -- for scenarios whose plan carries no message-level
+   adversity -- requires convergence agreement with the simulator
+   (all reach tolerance); a message-faulted scenario under real
+   concurrency must stay *sound* (no premature halt, success implies
+   tolerance) but wall-clock fault windows are allowed to change
+   whether it converges before the iteration cap;
+4. reaps any real-concurrency run that exceeds ``--timeout`` (threads
+   poisoned, worker processes terminated) and surfaces the timeout as
+   that scenario's failure instead of stalling the sweep;
+5. across the sweep, requires that at least one windowed fault plan
    demonstrably degraded and recovered (non-zero ``recoveries`` in the
    fault counters) whenever the generator emitted one.
 
@@ -27,12 +32,21 @@ any failure is reproducible in isolation (``docs/testing.md``).
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.api import Scenario, SimulatedBackend, ThreadedBackend
+from repro.api import ProcessBackend, Scenario, SimulatedBackend, ThreadedBackend
 from repro.api.faults import HostSlowdown, LinkDegradation, RankCrash
+from repro.runtime.executor import BackendTimeoutError
 from repro.testing.generator import DEFAULT_CONFIG, GeneratorConfig, generate_scenarios
 from repro.testing.invariants import check_invariants, work_counters
+
+#: The real-concurrency backends of the three-way parity battery, in
+#: run order.  Each entry maps the report key to a backend factory
+#: taking the per-scenario timeout.
+CONCURRENT_BACKENDS: Tuple[Tuple[str, Callable[[float], Any]], ...] = (
+    ("threaded", lambda timeout: ThreadedBackend(timeout=timeout)),
+    ("process", lambda timeout: ProcessBackend(timeout=timeout)),
+)
 
 
 def _summary(result) -> Dict[str, Any]:
@@ -55,15 +69,23 @@ def run_scenario_conformance(
     scenario: Scenario,
     threaded: bool = True,
     threaded_timeout: float = 60.0,
+    process: bool = True,
 ) -> Dict[str, Any]:
-    """Run one scenario through the full conformance battery."""
+    """Run one scenario through the full conformance battery.
+
+    ``threaded``/``process`` select which real-concurrency backends run
+    alongside the (always-on) simulated reference; ``threaded_timeout``
+    is the shared per-run reap deadline for both.
+    """
     record: Dict[str, Any] = {
         "name": scenario.name or "<unnamed>",
         "scenario": scenario.to_dict(),
         "has_faults": scenario.faults is not None and not scenario.faults.is_empty,
         "simulated": None,
         "threaded": None,
+        "process": None,
         "deterministic": None,
+        "timed_out": [],
         "violations": [],
     }
     violations: List[str] = record["violations"]
@@ -92,30 +114,44 @@ def run_scenario_conformance(
             "only emits survivable fault plans)"
         )
 
-    if threaded:
+    enabled = {"threaded": threaded, "process": process}
+    for name, make_backend in CONCURRENT_BACKENDS:
+        if not enabled[name]:
+            continue
         try:
-            threaded_result = ThreadedBackend(timeout=threaded_timeout).run(scenario)
-        except Exception as exc:  # noqa: BLE001 - reported per scenario
-            violations.append(f"threaded backend raised {type(exc).__name__}: {exc}")
+            result = make_backend(threaded_timeout).run(scenario)
+        except BackendTimeoutError as exc:
+            # The run hung and was reaped (threads poisoned / worker
+            # processes terminated): a per-scenario failure, never an
+            # indefinite stall of the sweep.
+            record["timed_out"].append(name)
+            violations.append(
+                f"{name} backend timed out after {threaded_timeout}s "
+                f"and was reaped: {exc}"
+            )
             record["ok"] = False
-            return record
-        record["threaded"] = _summary(threaded_result)
+            continue
+        except Exception as exc:  # noqa: BLE001 - reported per scenario
+            violations.append(f"{name} backend raised {type(exc).__name__}: {exc}")
+            record["ok"] = False
+            continue
+        record[name] = _summary(result)
         violations.extend(
-            f"threaded: {v}"
-            for v in check_invariants(scenario, threaded_result, problem)
+            f"{name}: {v}" for v in check_invariants(scenario, result, problem)
         )
         # Tolerance agreement: the same scenario value must reach
-        # tolerance on both interpreters.  The waiver applies only when
-        # the plan carries *thread-honoured* (message-level) adversity:
-        # a plan of pure link/host windows is invisible to the threaded
-        # backend, so that run is effectively fault-free and must agree.
+        # tolerance on every interpreter.  The waiver applies only when
+        # the plan carries message-level adversity (the subset the
+        # channel layers honour): a plan of pure link/host windows is
+        # invisible to the real-concurrency backends, so those runs are
+        # effectively fault-free and must agree with the simulator.
         plan = scenario.faults
-        threaded_faces_adversity = plan is not None and bool(plan.message_events())
-        if not threaded_faces_adversity:
-            if first.converged and not threaded_result.converged:
+        faces_adversity = plan is not None and bool(plan.message_events())
+        if not faces_adversity:
+            if first.converged and not result.converged:
                 violations.append(
-                    "tolerance disagreement: simulated converged but the "
-                    "threaded backend did not"
+                    f"tolerance disagreement: simulated converged but the "
+                    f"{name} backend did not"
                 )
 
     record["ok"] = not violations
@@ -128,6 +164,7 @@ def run_conformance(
     filter: Optional[str] = None,
     threaded: bool = True,
     threaded_timeout: float = 60.0,
+    process: bool = True,
     config: GeneratorConfig = DEFAULT_CONFIG,
     progress: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> Dict[str, Any]:
@@ -148,7 +185,10 @@ def run_conformance(
     records = []
     for scenario in scenarios:
         record = run_scenario_conformance(
-            scenario, threaded=threaded, threaded_timeout=threaded_timeout
+            scenario,
+            threaded=threaded,
+            threaded_timeout=threaded_timeout,
+            process=process,
         )
         records.append(record)
         if progress is not None:
@@ -198,6 +238,7 @@ def run_conformance(
         ),
         "windowed_fault_scenarios": len(windowed),
         "recovered_scenarios": len(recovered),
+        "timed_out_scenarios": sum(1 for r in records if r.get("timed_out")),
         "deterministic": all(r.get("deterministic") for r in records),
         "elapsed_s": time.perf_counter() - started,
     }
@@ -206,6 +247,7 @@ def run_conformance(
         "seed": seed,
         "filter": filter,
         "threaded": threaded,
+        "process": process,
         "passed": not failures,
         "failures": failures,
         "summary": summary,
@@ -213,4 +255,4 @@ def run_conformance(
     }
 
 
-__all__ = ["run_conformance", "run_scenario_conformance"]
+__all__ = ["run_conformance", "run_scenario_conformance", "CONCURRENT_BACKENDS"]

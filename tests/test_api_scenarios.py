@@ -205,6 +205,53 @@ def test_run_result_record_without_solution():
         rebuilt.solution()
 
 
+def test_run_result_record_round_trips_all_counter_families_at_once():
+    """per_rank + faults + balancing populated *simultaneously*.
+
+    Each family round-trips in isolation elsewhere; this run carries a
+    balancing plan on a message-faulted scenario, so one record holds
+    rank progress (busy time, row ranges), fault counters and migration
+    counters together -- the shape the conformance reports and sweeps
+    actually serialize.
+    """
+    from repro.api import BalancingPlan
+
+    scenario = Scenario(
+        problem="sparse_linear",
+        problem_params={"n": 300, "dominance": 0.9},
+        environment="pm2",
+        cluster="local_cluster",
+        cluster_params={"speed_scale": 4e-4},
+        n_ranks=4,
+        seed=3,
+        balancer=BalancingPlan(policy="diffusion", period=10),
+        faults={"seed": 7, "events": [
+            {"kind": "message_loss", "probability": 0.1},
+            {"kind": "message_duplication", "probability": 0.1},
+        ]},
+    )
+    result = SimulatedBackend(trace=False).run(scenario)
+    assert result.faults["messages_dropped"] > 0
+    assert result.balancing["migrations_out"] >= 1
+    record = json.loads(json.dumps(result.to_record(include_solution=True)))
+    rebuilt = RunResult.from_record(record)
+    # All three families survive together, not just in isolation.
+    assert rebuilt.faults == result.faults
+    assert rebuilt.balancing == result.balancing
+    progress, again = result.per_rank, rebuilt.per_rank
+    assert sorted(again) == sorted(progress) == list(range(4))
+    for rank in progress:
+        assert again[rank].iterations == progress[rank].iterations
+        assert again[rank].busy_time == pytest.approx(progress[rank].busy_time)
+        assert again[rank].rows == progress[rank].rows
+        assert again[rank].sends == progress[rank].sends
+    assert rebuilt.scenario == result.scenario
+    np.testing.assert_allclose(rebuilt.solution(), result.solution())
+    # And the rebuilt record re-serializes identically (fixed point).
+    assert json.loads(json.dumps(rebuilt.to_record(include_solution=True))) \
+        == record
+
+
 def test_simulate_shim_and_backend_parity():
     scenario = _fast_scenario()
     problem = SparseLinearProblem(SparseLinearConfig(seed=7, **FAST_LINEAR))

@@ -363,6 +363,71 @@ def test_balanced_scenario_runs_on_threads():
     assert check_invariants(scenario, result, scenario.build_problem()) == []
 
 
+@pytest.mark.parametrize("backend_name", ["simulated", "threaded", "process"])
+def test_migration_handoff_stress_under_message_faults(backend_name):
+    """Seeded stress: two-phase handoffs under loss/dup/reorder plans.
+
+    Many seeds, every backend: whatever the fault plan does to the data
+    plane and however the OS schedules the ranks, the global row set
+    must still partition ``range(n)`` at halt and the donor/receiver
+    accounting must agree (``check_row_partition``).  The aggressive
+    probe period/threshold keep handoffs flowing even where measured
+    rates are nearly equal (real threads and processes on one host).
+    """
+    base = HETERO.derive(
+        n_ranks=4,
+        problem_params={"n": 180, "dominance": 0.75,
+                        "sign_structure": "random"},
+        balancer=BalancingPlan(policy="diffusion", period=5, threshold=0.02),
+    )
+    migrations = 0
+    for seed in range(6):
+        scenario = base.derive(
+            seed=seed,
+            name=f"stress-{backend_name}-{seed}",
+            faults={"seed": seed, "events": [
+                {"kind": "message_loss", "probability": 0.12},
+                {"kind": "message_duplication", "probability": 0.08},
+                {"kind": "message_reorder", "probability": 0.15,
+                 "max_delay": 2e-3},
+            ]},
+        )
+        kwargs = ({"trace": False} if backend_name == "simulated"
+                  else {"timeout": 60.0})
+        result = run_scenario(scenario, backend=backend_name, **kwargs)
+        problem = scenario.build_problem()
+        assert check_row_partition(result, problem) == [], (
+            f"seed {seed}: row partition violated on {backend_name}"
+        )
+        assert check_invariants(scenario, result, problem) == [], (
+            f"seed {seed}: invariants violated on {backend_name}"
+        )
+        migrations += result.balancing.get("migrations_out", 0)
+    # The stress must actually exercise handoffs, not just no-ops.
+    assert migrations > 0
+
+
+def test_handoff_payloads_survive_the_process_wire_format():
+    """A commit payload must integrate identically after pickling.
+
+    The process backend ships handoffs as pickled messages; the commit
+    point normalises donated values into an owned, contiguous float64
+    array so by-reference and by-wire delivery cannot diverge.
+    """
+    import pickle
+
+    donor = PROBLEM.make_migratable(1, 3)
+    lo, hi, values = donor.give_rows(5, 2)
+    payload = ("commit", 1, 7, lo, hi, np.ascontiguousarray(values, dtype=float))
+    wire = pickle.loads(pickle.dumps(payload))
+    assert wire[:5] == payload[:5]
+    np.testing.assert_array_equal(wire[5], values)
+    receiver = PROBLEM.make_migratable(2, 3)
+    receiver.take_rows(wire[3], wire[4], wire[5])
+    assert receiver.row_range == (lo, PROBLEM.n)
+    np.testing.assert_array_equal(receiver.x[lo:hi], values)
+
+
 # ----------------------------------------------------------------------
 # result surface: per-rank progress and records
 # ----------------------------------------------------------------------

@@ -126,19 +126,25 @@ def test_invariants_flag_fault_counters_without_a_plan():
 # the driver
 # ----------------------------------------------------------------------
 def test_small_conformance_sweep_passes():
+    # Three-way: the sweep runs simulated (twice), threaded and process
+    # on every generated scenario.
     report = run_conformance(n=4, seed=1, threaded_timeout=60.0)
     assert report["passed"], report["failures"]
     assert report["summary"]["scenarios"] == 4
     assert report["summary"]["deterministic"]
+    assert report["summary"]["timed_out_scenarios"] == 0
+    assert all(r["threaded"] is not None for r in report["scenarios"])
+    assert all(r["process"] is not None for r in report["scenarios"])
     # The report is JSON-serializable as-is (the CLI writes it).
     json.dumps(report)
 
 
 def test_scenario_conformance_reports_violations_for_unsound_runs():
     scenario = generate_scenarios(1, seed=0)[0]
-    record = run_scenario_conformance(scenario, threaded=False)
+    record = run_scenario_conformance(scenario, threaded=False, process=False)
     assert record["ok"], record["violations"]
     assert record["threaded"] is None
+    assert record["process"] is None
     assert record["deterministic"] is True
 
 
@@ -153,11 +159,13 @@ def test_scenario_conformance_captures_backend_exceptions():
 
 
 def test_conformance_filter_keeps_named_scenarios_only():
-    report = run_conformance(n=3, seed=1, filter="-000-", threaded=False)
+    report = run_conformance(n=3, seed=1, filter="-000-", threaded=False,
+                             process=False)
     assert report["summary"]["scenarios"] == 1
     assert report["passed"], report["failures"]
     # A filter matching nothing must FAIL the run, not report green.
-    empty = run_conformance(n=2, seed=1, filter="no-such-name", threaded=False)
+    empty = run_conformance(n=2, seed=1, filter="no-such-name", threaded=False,
+                            process=False)
     assert empty["summary"]["scenarios"] == 0
     assert not empty["passed"]
     assert any("matched none" in v for f in empty["failures"]
