@@ -211,6 +211,12 @@ class RunResult:
             "total_iterations": self.total_iterations,
             "max_iterations": self.max_iterations,
             "scenario": None if self.scenario is None else self.scenario.to_dict(),
+            # The stable join key between a record and its scenario --
+            # identical for every record produced from content-equal
+            # scenarios (labels excluded); see Scenario.content_hash.
+            "scenario_hash": (
+                None if self.scenario is None else self.scenario.content_hash()
+            ),
             "backend_stats": jsonify(self.backend_stats),
             "faults": {str(k): int(v) for k, v in sorted(self.faults.items())},
             "reports": report_records,

@@ -12,7 +12,9 @@ other side of a process pool.
 
 from __future__ import annotations
 
+import hashlib
 import inspect
+import json
 from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
@@ -259,6 +261,31 @@ class Scenario:
             "problem_kind": self.problem_kind,
             "name": self.name,
         }
+
+    def content_hash(self) -> str:
+        """Stable hex digest of the scenario's *content* (identity key).
+
+        The digest is SHA-256 over the canonical JSON form
+        (``to_dict`` with sorted keys and compact separators), covering
+        everything that changes what a run computes -- problem,
+        environment, cluster, algorithm, parameters, options, policy
+        overrides, seed, fault plan, balancing plan.  The ``name``
+        label is excluded: two submissions that differ only in label
+        are the same work.  Two scenarios compare equal under
+        ``content_hash`` iff a backend would execute them identically,
+        which makes the digest the key of the serve-layer result cache
+        (:mod:`repro.serve.cache`) and the join key between a
+        :meth:`RunResult.to_record` row and its scenario::
+
+            >>> a = Scenario(problem="sparse_linear", name="first")
+            >>> b = Scenario(problem="sparse_linear", name="again")
+            >>> a.content_hash() == b.content_hash()
+            True
+        """
+        payload = self.to_dict()
+        payload.pop("name", None)
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":

@@ -10,8 +10,9 @@ instead of aborting the whole grid.
 
 from __future__ import annotations
 
-import multiprocessing
 import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.api.backends import Backend, SimulatedBackend, get_backend
@@ -120,11 +121,70 @@ def sweep(
     if processes <= 1 or len(jobs) <= 1:
         ran = [_run_job(job) for job in jobs]
     else:
-        with multiprocessing.Pool(processes=min(processes, len(jobs))) as pool:
-            ran = pool.map(_run_job, jobs)
+        ran = _run_pool(jobs, processes=min(processes, len(jobs)))
     for record in ran:
         records[record["index"]] = record
     return [records[index] for index in range(total)]
+
+
+def _error_record(job, exc: BaseException) -> Dict[str, Any]:
+    """The per-item sentinel for a job whose failure escaped ``_run_job``."""
+    index, scenario_dict, _, _ = job
+    return {
+        "index": index,
+        "scenario": scenario_dict,
+        "error": f"{type(exc).__name__}: {exc}",
+        "traceback": traceback.format_exc(),
+    }
+
+
+def _run_pool(jobs, processes: int) -> List[Dict[str, Any]]:
+    """Fan jobs over a process pool with *per-item* failure capture.
+
+    ``_run_job`` already catches in-job exceptions, but a grid point
+    can also kill its worker process outright (``os._exit`` in user
+    problem code, a segfaulting extension, the OOM killer).  A plain
+    ``pool.map`` would then raise away every record of the sweep --
+    and worse, a broken ``ProcessPoolExecutor`` terminates its
+    *other* workers too, so the culprit cannot be told apart from
+    innocent neighbours caught on the same dying executor.  Here each
+    job gets its own future, and every job the breakage swallowed is
+    retried once in its own isolated single-worker pool: bystanders
+    complete there, the poisonous grid point breaks only itself and
+    becomes exactly one error record.
+    """
+    records: Dict[int, Dict[str, Any]] = {}
+    swallowed: List[Any] = []
+    pool = ProcessPoolExecutor(max_workers=processes)
+    futures = []
+    for job in jobs:
+        try:
+            futures.append((job, pool.submit(_run_job, job)))
+        except BaseException:  # noqa: BLE001 - pool already broken
+            swallowed.append(job)
+    for job, future in futures:
+        try:
+            records[job[0]] = future.result()
+        except BrokenProcessPool:
+            swallowed.append(job)
+        except BaseException as exc:  # noqa: BLE001 - per-item sentinel
+            records[job[0]] = _error_record(job, exc)
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # noqa: BLE001 - a broken pool may refuse shutdown
+        pass
+    for job in swallowed:
+        solo = ProcessPoolExecutor(max_workers=1)
+        try:
+            records[job[0]] = solo.submit(_run_job, job).result()
+        except BaseException as exc:  # noqa: BLE001 - the actual culprit
+            records[job[0]] = _error_record(job, exc)
+        finally:
+            try:
+                solo.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # noqa: BLE001
+                pass
+    return [records[job[0]] for job in jobs]
 
 
 def sweep_results(

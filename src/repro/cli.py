@@ -31,6 +31,22 @@ Installed as the ``repro`` command (see ``setup.py``); also runnable as
     threaded/process runs are reaped after ``--timeout`` seconds and
     reported as per-scenario failures.  See ``docs/testing.md``.
 
+``repro serve [--host H] [--port P] [--backend NAME] [--workers N]
+[--job-timeout T] [--max-attempts K] [--state-dir DIR]``
+    Run the scenario submission service (:mod:`repro.serve`): a
+    scheduler daemon accepting priority-queued submissions over a
+    newline-delimited-JSON socket, dispatching to a pool of backend
+    worker processes, caching results by scenario content-hash and
+    journaling the queue for resume-after-kill.  Blocks until
+    SIGTERM/SIGINT or a client ``shutdown``.  See ``docs/serving.md``.
+
+``repro submit scenarios.json [--host H] [--port P] [--priority N]
+[--no-wait] [--timeout T] [--output records.json]``
+    Submit the scenario(s) in a JSON file (same format as ``repro
+    run``) to a running daemon; by default waits for every job and
+    prints one record per scenario.  With ``--no-wait`` prints the
+    submission acks (job ids) instead.
+
 Exit status: 0 on success, 1 on scenario/conformance failures, 2 on
 bad input, 3 on benchmark regressions.
 """
@@ -225,6 +241,145 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serve import ServeDaemon
+
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.job_timeout <= 0:
+        print(f"error: --job-timeout must be > 0, got {args.job_timeout}",
+              file=sys.stderr)
+        return 2
+    if args.max_attempts < 1:
+        print(f"error: --max-attempts must be >= 1, got {args.max_attempts}",
+              file=sys.stderr)
+        return 2
+    try:
+        daemon = ServeDaemon(
+            host=args.host,
+            port=args.port,
+            backend=args.backend,
+            workers=args.workers,
+            job_timeout=args.job_timeout,
+            max_attempts=args.max_attempts,
+            state_dir=args.state_dir,
+        )
+    except (KeyError, OSError) as exc:
+        # Unknown backend name, or the port is taken.
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    replayed = daemon.scheduler.counters["replayed"]
+    print(
+        f"repro serve: listening on {daemon.host}:{daemon.port} "
+        f"(backend={args.backend}, workers={args.workers}, "
+        f"job-timeout={args.job_timeout}s"
+        + (f", state-dir={args.state_dir}" if args.state_dir else "")
+        + (f", {replayed} job(s) requeued from journal" if replayed else "")
+        + ")",
+        flush=True,
+    )
+
+    def _stop(signum, frame) -> None:  # noqa: ARG001 - signal signature
+        # stop() blocks until serve_forever's loop exits, and this
+        # handler interrupts the very thread running that loop -- so
+        # stop from a helper thread and let the handler return.
+        import threading
+
+        threading.Thread(target=daemon.stop, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    daemon.serve_forever()
+    stats = daemon.scheduler.stats()
+    stats.pop("ok", None)
+    print(f"repro serve: stopped; final stats: {json.dumps(stats)}")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient, ServeError
+    from repro.serve.protocol import DONE
+
+    try:
+        with open(args.scenarios, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        print(f"error: cannot read {args.scenarios}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.scenarios} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if isinstance(data, dict):
+        data = [data]
+    if not isinstance(data, list) or not all(isinstance(s, dict) for s in data):
+        print("error: scenario file must hold a dict or a list of dicts",
+              file=sys.stderr)
+        return 2
+    try:
+        client = ServeClient(host=args.host, port=args.port)
+    except OSError as exc:
+        print(f"error: cannot reach daemon at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    outputs = []
+    with client:
+        acks = []
+        for index, scenario in enumerate(data):
+            try:
+                acks.append((index, client.submit(scenario, priority=args.priority)))
+            except ServeError as exc:
+                failures += 1
+                outputs.append({"index": index, "error": str(exc), "code": exc.code})
+                print(f"error in scenario {index}: {exc}", file=sys.stderr)
+        if args.no_wait:
+            outputs.extend(
+                {"index": index, **{k: v for k, v in ack.items() if k != "ok"}}
+                for index, ack in acks
+            )
+        else:
+            for index, ack in acks:
+                try:
+                    frame = client.wait(ack["id"], timeout=args.timeout)
+                except TimeoutError as exc:
+                    failures += 1
+                    outputs.append(
+                        {"index": index, "id": ack["id"], "error": str(exc)}
+                    )
+                    print(f"error in scenario {index}: {exc}", file=sys.stderr)
+                    continue
+                entry = {
+                    "index": index,
+                    "id": ack["id"],
+                    "state": frame["state"],
+                    "cached": ack["cached"],
+                    "coalesced": ack["coalesced"],
+                }
+                if frame["state"] == DONE:
+                    entry["record"] = frame.get("record")
+                else:
+                    failures += 1
+                    entry["error"] = frame.get("error", frame["state"])
+                    print(
+                        f"error in scenario {index}: job {ack['id']} "
+                        f"{frame['state']}: {frame.get('error', '')}",
+                        file=sys.stderr,
+                    )
+                outputs.append(entry)
+    payload = json.dumps(outputs, indent=2, default=str)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {len(outputs)} record(s) to {args.output}")
+    else:
+        print(payload)
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for doc/tests)."""
     parser = argparse.ArgumentParser(
@@ -350,6 +505,87 @@ def build_parser() -> argparse.ArgumentParser:
         "parity)",
     )
     conformance_parser.set_defaults(func=_cmd_conformance)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the scenario submission service (scheduler daemon)",
+        description=(
+            "Run the repro.serve scheduler daemon: accept scenario "
+            "submissions over a newline-delimited-JSON socket protocol "
+            "(submit/status/result/cancel/stats), queue them by priority "
+            "onto a pool of backend worker processes with per-job timeout "
+            "and bounded retry, cache results on disk by scenario "
+            "content-hash + seed, and journal accepted jobs so a killed "
+            "daemon resumes its queue. See docs/serving.md."
+        ),
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=7341,
+        help="TCP port; 0 picks a free one (default: 7341)",
+    )
+    serve_parser.add_argument(
+        "--backend", default="simulated",
+        help="backend the workers run scenarios on (default: simulated)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker-process pool size (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--job-timeout", type=float, default=60.0, metavar="T",
+        help="per-attempt deadline in seconds; an expired attempt's worker "
+        "is killed and the job retried (default: 60)",
+    )
+    serve_parser.add_argument(
+        "--max-attempts", type=int, default=2, metavar="K",
+        help="attempts per job before a timeout becomes a failure "
+        "(default: 2)",
+    )
+    serve_parser.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="directory for the journal and the result cache; enables "
+        "resume-after-kill and cross-restart caching (default: none -- "
+        "a throwaway cache, no journal)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = subparsers.add_parser(
+        "submit",
+        help="submit scenario(s) in a JSON file to a running daemon",
+        description=(
+            "Submit the scenario(s) in a JSON file (repro run format) to a "
+            "running repro serve daemon, wait for the results and print "
+            "one record per scenario. Duplicate submissions are served "
+            "from the daemon's cache. See docs/serving.md."
+        ),
+    )
+    submit_parser.add_argument("scenarios", help="path to a scenario JSON file")
+    submit_parser.add_argument(
+        "--host", default="127.0.0.1", help="daemon address (default: 127.0.0.1)"
+    )
+    submit_parser.add_argument(
+        "--port", type=int, default=7341, help="daemon port (default: 7341)"
+    )
+    submit_parser.add_argument(
+        "--priority", type=int, default=0,
+        help="integer priority for every submitted scenario; higher runs "
+        "first (default: 0)",
+    )
+    submit_parser.add_argument(
+        "--no-wait", action="store_true",
+        help="print submission acks (job ids) instead of waiting for results",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=300.0, metavar="T",
+        help="per-job wait deadline in seconds (default: 300)",
+    )
+    submit_parser.add_argument(
+        "--output", default=None, help="write records to a file instead of stdout"
+    )
+    submit_parser.set_defaults(func=_cmd_submit)
     return parser
 
 

@@ -1,0 +1,156 @@
+"""Client for the scenario submission service.
+
+One persistent connection speaking the newline-delimited-JSON
+protocol; every method sends one request frame and returns the
+response frame's payload.  Refusals (``"ok": false``) raise
+:class:`ServeError` with the daemon's machine-readable code, so
+callers handle transport errors and protocol refusals separately::
+
+    from repro.api import Scenario
+    from repro.serve import ServeClient
+
+    with ServeClient(port=7341) as client:
+        ack = client.submit(Scenario(problem="sparse_linear"), priority=5)
+        done = client.wait(ack["id"], timeout=60.0)
+        record = done["record"]          # RunResult.to_record form
+
+This is the transport the future sharded sweep executor's remote stub
+rides: a scenario dict out, a record dict back, everything in between
+(queueing, caching, retry) the daemon's business.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional, Union
+
+from repro.api.scenario import Scenario
+from repro.serve.protocol import TERMINAL_STATES, decode_frame, encode_frame
+
+
+class ServeError(RuntimeError):
+    """The daemon refused a request (``ok: false``)."""
+
+    def __init__(self, message: str, code: str = "error") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServeClient:
+    """A connection to one daemon; context manager closes it.
+
+    ``timeout`` bounds every single request/response exchange; the
+    long waits belong to :meth:`wait`, which polls.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7341,
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _call(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        self._sock.sendall(encode_frame(frame))
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError(
+                f"daemon at {self.host}:{self.port} closed the connection"
+            )
+        response = decode_frame(line)
+        if not response.get("ok"):
+            raise ServeError(
+                str(response.get("error", "request refused")),
+                str(response.get("code", "error")),
+            )
+        return response
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        scenario: Union[Scenario, Dict[str, Any]],
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """Submit one scenario; returns the ack frame (``id``, ``state``,
+        ``key``, ``cached``, ``coalesced``)."""
+        payload = (
+            scenario.to_dict() if isinstance(scenario, Scenario) else dict(scenario)
+        )
+        return self._call(
+            {"verb": "submit", "scenario": payload, "priority": priority}
+        )
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._call({"verb": "status", "id": job_id})
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """Status plus, once ``done``, the full run ``record``."""
+        return self._call({"verb": "result", "id": job_id})
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._call({"verb": "cancel", "id": job_id})
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call({"verb": "stats"})
+
+    def ping(self) -> bool:
+        return bool(self._call({"verb": "ping"}).get("pong"))
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to stop cleanly (unfinished jobs stay journaled)."""
+        return self._call({"verb": "shutdown"})
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        poll: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its ``result`` frame.
+
+        Raises :class:`TimeoutError` when the deadline passes first --
+        the job keeps running server-side (use :meth:`cancel` to stop
+        it).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            frame = self.result(job_id)
+            if frame["state"] in TERMINAL_STATES:
+                return frame
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {frame['state']!r} after {timeout}s"
+                )
+            time.sleep(poll)
+
+
+__all__ = ["ServeClient", "ServeError"]

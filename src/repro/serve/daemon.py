@@ -1,0 +1,536 @@
+"""The scheduler daemon: the service's state machine plus its socket face.
+
+:class:`Scheduler` owns the job table, the priority queue, the
+journal, the result cache and the worker pool, and implements every
+protocol verb as a thread-safe method returning a wire frame.  It is
+deliberately separable from the socket layer -- the protocol tests
+drive it directly (with a stub pool), and the TCP server is a thin
+shell around it.
+
+Lifecycle of a submission::
+
+    submit ──► cache hit? ──────────────► born-terminal done (cached)
+       │            no
+       ├──► identical job in flight? ──► coalesce onto it (same id)
+       │            no
+       └──► journal + queue ──► dispatch to an idle worker ──► done
+                                   │ deadline passed               │
+                                   ▼                               ▼
+                       kill worker, retry (bounded) ──► failed   cache.put
+
+Timeouts reuse the repo-wide :class:`~repro.runtime.executor.
+BackendTimeoutError` vocabulary: a reaped attempt is retried until
+``max_attempts`` is exhausted, then the job fails with a
+``BackendTimeoutError:``-prefixed error -- and a backend that raised
+its own timeout subclass inside the worker is treated identically.
+
+:class:`ServeDaemon` listens on a TCP socket, speaks the
+newline-delimited-JSON protocol (:mod:`repro.serve.protocol`), and
+runs one dispatcher thread that pumps :meth:`Scheduler.tick`.
+``SIGTERM``/``SIGINT`` and the ``shutdown`` verb all funnel into
+:meth:`ServeDaemon.stop`; unfinished jobs survive in the journal and
+are requeued by the next daemon pointed at the same state dir.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.api.scenario import Scenario
+from repro.runtime.executor import BackendTimeoutError
+from repro.serve.cache import ResultCache
+from repro.serve.protocol import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    ProtocolError,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    parse_request,
+)
+from repro.serve.queue import Job, JobQueue, Journal, replay_events
+from repro.serve.workers import WorkerPool
+
+#: Error prefixes that mean "the attempt timed out" and deserve a retry.
+_TIMEOUT_PREFIXES = (
+    "BackendTimeoutError",
+    "ThreadTimeoutError",
+    "ProcessTimeoutError",
+)
+
+
+class Scheduler:
+    """Thread-safe protocol state machine over queue, cache, journal, pool.
+
+    ``pool`` may be any object with the :class:`~repro.serve.workers.
+    WorkerPool` dispatch surface (``idle_count``, ``dispatch``,
+    ``poll``, ``reap_expired``, ``kill_job``, ``job_timeout``,
+    ``stats``, ``shutdown``) -- the tests substitute a stub.
+    """
+
+    def __init__(
+        self,
+        pool: Any,
+        cache: ResultCache,
+        state_dir: Optional[Union[str, Path]] = None,
+        max_attempts: int = 2,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.pool = pool
+        self.cache = cache
+        self.max_attempts = max_attempts
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, Job] = {}
+        self._by_key: Dict[str, str] = {}  # in-flight (queued/running) job per key
+        self._queue = JobQueue()
+        self._next_id = 1
+        self._next_seq = 0
+        self._started = time.monotonic()
+        self.counters: Dict[str, int] = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "retries": 0,
+            "replayed": 0,
+        }
+        self._journal: Optional[Journal] = None
+        if state_dir is not None:
+            state_dir = Path(state_dir)
+            state_dir.mkdir(parents=True, exist_ok=True)
+            journal_path = state_dir / "journal.ndjson"
+            self._replay(journal_path)
+            self._journal = Journal(journal_path)
+
+    # ------------------------------------------------------------------
+    # resume
+    # ------------------------------------------------------------------
+    def _replay(self, journal_path: Path) -> None:
+        """Rebuild the job table from a previous daemon's journal."""
+        jobs, next_seq = replay_events(Journal.load(journal_path))
+        for job in jobs.values():
+            if job.state == DONE and job.key not in self.cache:
+                # Terminal on paper but the record is gone (cache wiped
+                # out from under us): the work is lost, run it again.
+                job.state = QUEUED
+            self._jobs[job.id] = job
+            if job.state == QUEUED:
+                self._queue.push(job)
+                self._by_key[job.key] = job.id
+                self.counters["replayed"] += 1
+        self._next_seq = next_seq
+        if jobs:
+            numeric = [int(j.id[1:]) for j in jobs.values() if j.id[1:].isdigit()]
+            self._next_id = max(numeric, default=0) + 1
+
+    def _log(self, event: Dict[str, Any]) -> None:
+        if self._journal is not None:
+            self._journal.append(event)
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+    def submit(self, scenario_dict: Dict[str, Any], priority: int = 0) -> Dict[str, Any]:
+        try:
+            scenario = Scenario.from_dict(scenario_dict)
+        except Exception as exc:  # noqa: BLE001 - registry/shape errors
+            raise ProtocolError(
+                f"scenario rejected: {exc}", code="bad-scenario"
+            ) from exc
+        key = ResultCache.key_for(scenario)
+        canonical = scenario.to_dict()
+        with self._lock:
+            self.counters["submitted"] += 1
+            # 1. Result already on disk: the job is born terminal.
+            record = self.cache.get(key)
+            if record is not None:
+                job = self._new_job(canonical, key, priority, state=DONE, cached=True)
+                self._log(
+                    {"event": "submit", "id": job.id, "key": key,
+                     "priority": priority, "seq": job.seq, "scenario": canonical}
+                )
+                self._log({"event": DONE, "id": job.id, "cached": True})
+                self.counters["cache_hits"] += 1
+                self.counters["completed"] += 1
+                return ok_frame(
+                    id=job.id, state=DONE, key=key, cached=True, coalesced=False
+                )
+            # 2. Identical scenario already in flight: ride that job.
+            inflight_id = self._by_key.get(key)
+            if inflight_id is not None:
+                inflight = self._jobs[inflight_id]
+                inflight.coalesced += 1
+                inflight.priority = max(inflight.priority, priority)
+                self.counters["coalesced"] += 1
+                return ok_frame(
+                    id=inflight.id, state=inflight.state, key=key,
+                    cached=False, coalesced=True,
+                )
+            # 3. Fresh work: journal it, queue it.
+            job = self._new_job(canonical, key, priority)
+            self._log(
+                {"event": "submit", "id": job.id, "key": key,
+                 "priority": priority, "seq": job.seq, "scenario": canonical}
+            )
+            self._queue.push(job)
+            self._by_key[key] = job.id
+            return ok_frame(
+                id=job.id, state=QUEUED, key=key, cached=False, coalesced=False
+            )
+
+    def _new_job(self, scenario, key, priority, state=QUEUED, cached=False) -> Job:
+        job = Job(
+            id=f"j{self._next_id:06d}",
+            scenario=scenario,
+            key=key,
+            priority=priority,
+            seq=self._next_seq,
+            state=state,
+            cached=cached,
+        )
+        self._next_id += 1
+        self._next_seq += 1
+        self._jobs[job.id] = job
+        return job
+
+    def _get_job(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ProtocolError(f"unknown job id {job_id!r}", code="unknown-job")
+        return job
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        with self._lock:
+            return ok_frame(**self._get_job(job_id).public_status())
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        with self._lock:
+            job = self._get_job(job_id)
+            frame = ok_frame(**job.public_status())
+            if job.state == DONE:
+                frame["record"] = self.cache.get(job.key)
+            return frame
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        with self._lock:
+            job = self._get_job(job_id)
+            if job.terminal:
+                return ok_frame(**job.public_status(), changed=False)
+            if job.state == RUNNING:
+                self.pool.kill_job(job.id)
+            job.state = CANCELLED
+            self._by_key.pop(job.key, None)
+            self._log({"event": CANCELLED, "id": job.id})
+            self.counters["cancelled"] += 1
+            return ok_frame(**job.public_status(), changed=True)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return ok_frame(
+                uptime_s=round(time.monotonic() - self._started, 3),
+                jobs=states,
+                queued=len(self._queue),
+                counters=dict(self.counters),
+                cache=self.cache.stats(),
+                pool=self.pool.stats(),
+            )
+
+    # ------------------------------------------------------------------
+    # dispatcher
+    # ------------------------------------------------------------------
+    def tick(self, poll_timeout: float = 0.05) -> None:
+        """One dispatcher heartbeat: dispatch, collect, reap.
+
+        Called in a loop by the daemon's dispatcher thread; also
+        callable directly (the tests and any embedded single-thread
+        use drive it manually).
+        """
+        with self._lock:
+            while self.pool.idle_count > 0:
+                job = self._queue.pop()
+                if job is None:
+                    break
+                job.state = RUNNING
+                self.pool.dispatch(job.id, job.scenario)
+        events = self.pool.poll(timeout=poll_timeout)
+        with self._lock:
+            for job_id, kind, payload in events:
+                self._apply_event(job_id, kind, payload)
+            for job_id in self.pool.reap_expired():
+                self._attempt_failed(
+                    job_id,
+                    f"{BackendTimeoutError.__name__}: job exceeded the "
+                    f"{self.pool.job_timeout}s per-attempt deadline",
+                    timed_out=True,
+                )
+
+    def _apply_event(self, job_id: str, kind: str, payload: Any) -> None:
+        job = self._jobs.get(job_id)
+        if job is None or job.state != RUNNING:
+            return  # cancelled (or otherwise settled) while the worker ran
+        if kind == "done":
+            record = payload if isinstance(payload, dict) else {}
+            self.cache.put(job.key, record)
+            job.state = DONE
+            self._by_key.pop(job.key, None)
+            self._log({"event": DONE, "id": job.id})
+            self.counters["completed"] += 1
+        elif kind == "failed":
+            error = str(payload)
+            self._attempt_failed(
+                job_id, error, timed_out=error.startswith(_TIMEOUT_PREFIXES)
+            )
+        elif kind == "crashed":
+            self._attempt_failed(job_id, f"worker crashed: {payload}", timed_out=True)
+
+    def _attempt_failed(self, job_id: str, error: str, timed_out: bool) -> None:
+        """Settle one failed attempt: bounded retry for timeouts/crashes,
+        immediate failure for deterministic in-job errors."""
+        job = self._jobs.get(job_id)
+        if job is None or job.state != RUNNING:
+            return
+        job.attempts += 1
+        if timed_out and job.attempts < self.max_attempts:
+            job.state = QUEUED
+            job.error = None
+            self._queue.push(job)
+            self.counters["retries"] += 1
+            return
+        job.state = FAILED
+        job.error = error
+        self._by_key.pop(job.key, None)
+        self._log({"event": FAILED, "id": job.id, "error": error})
+        self.counters["failed"] += 1
+
+    # ------------------------------------------------------------------
+    # request routing
+    # ------------------------------------------------------------------
+    def handle(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatch one *validated* request frame to its verb method."""
+        verb = frame["verb"]
+        if verb == "submit":
+            return self.submit(dict(frame["scenario"]), frame.get("priority", 0))
+        if verb == "status":
+            return self.status(frame["id"])
+        if verb == "result":
+            return self.result(frame["id"])
+        if verb == "cancel":
+            return self.cancel(frame["id"])
+        if verb == "stats":
+            return self.stats()
+        if verb == "ping":
+            return ok_frame(pong=True)
+        raise ProtocolError(f"verb {verb!r} is not routable here")
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One connection: read request lines, write one response frame each."""
+
+    def handle(self) -> None:
+        daemon: "ServeDaemon" = self.server.daemon  # type: ignore[attr-defined]
+        while True:
+            try:
+                line = self.rfile.readline()
+            except OSError:
+                return
+            if not line:
+                return  # client closed the connection
+            if not line.strip():
+                continue
+            try:
+                frame = parse_request(line)
+            except ProtocolError as exc:
+                self._reply(error_frame(str(exc), exc.code))
+                continue
+            if frame["verb"] == "shutdown":
+                self._reply(ok_frame(stopping=True))
+                threading.Thread(target=daemon.stop, daemon=True).start()
+                return
+            try:
+                self._reply(daemon.scheduler.handle(frame))
+            except ProtocolError as exc:
+                self._reply(error_frame(str(exc), exc.code))
+            except Exception as exc:  # noqa: BLE001 - never kill the daemon
+                self._reply(
+                    error_frame(f"{type(exc).__name__}: {exc}", "internal-error")
+                )
+
+    def _reply(self, payload: Dict[str, Any]) -> None:
+        try:
+            self.wfile.write(encode_frame(payload))
+            self.wfile.flush()
+        except OSError:
+            pass  # client went away mid-reply
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    block_on_close = False
+
+
+class ServeDaemon:
+    """The long-running front door: TCP server + dispatcher thread.
+
+    ::
+
+        daemon = ServeDaemon(backend="simulated", workers=2,
+                             state_dir=".repro-serve", port=0)
+        daemon.start()           # background threads; daemon.port is bound
+        ...
+        daemon.stop()            # or client.shutdown(), or SIGTERM
+
+    ``serve_forever()`` is the blocking foreground form the CLI uses.
+    ``port=0`` binds an ephemeral port (tests, harnesses); the chosen
+    port is in :attr:`port` after construction.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backend: str = "simulated",
+        workers: int = 2,
+        job_timeout: float = 60.0,
+        max_attempts: int = 2,
+        state_dir: Optional[Union[str, Path]] = None,
+        backend_kwargs: Optional[Dict[str, Any]] = None,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
+        if scheduler is None:
+            cache_root = (
+                Path(state_dir) / "cache" if state_dir is not None else None
+            )
+            pool = WorkerPool(
+                backend=backend,
+                size=workers,
+                job_timeout=job_timeout,
+                backend_kwargs=backend_kwargs,
+            )
+            scheduler = Scheduler(
+                pool,
+                ResultCache(cache_root) if cache_root is not None
+                else ResultCache(Path(tempfile_cache_dir())),
+                state_dir=state_dir,
+                max_attempts=max_attempts,
+            )
+        self.scheduler = scheduler
+        self._server = _Server((host, port), _RequestHandler)
+        self._server.daemon = self  # type: ignore[attr-defined]
+        self.host, self.port = self._server.server_address[:2]
+        self._stop_event = threading.Event()
+        self._stopped = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._server_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while not self._stop_event.is_set():
+            self.scheduler.tick(poll_timeout=0.05)
+
+    def start(self) -> None:
+        """Run server + dispatcher on background threads (returns at once)."""
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-serve-accept",
+            daemon=True,
+        )
+        self._server_thread.start()
+
+    def serve_forever(self) -> None:
+        """Blocking form: serve until :meth:`stop` (CLI / signal driven)."""
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+        try:
+            self._server.serve_forever(poll_interval=0.1)
+        finally:
+            self._shutdown_components()
+
+    def stop(self) -> None:
+        """Stop accepting, stop dispatching, kill workers, close journal.
+
+        Idempotent; safe to call from signal handlers and handler
+        threads.  Queued/running jobs stay journaled for the next
+        daemon on the same state dir.
+        """
+        if self._stop_event.is_set():
+            self._stopped.wait(timeout=10.0)
+            return
+        self._stop_event.set()
+        self._server.shutdown()
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=5.0)
+        self._shutdown_components()
+
+    def _shutdown_components(self) -> None:
+        # Reached concurrently by stop() callers (signal thread, the
+        # shutdown-verb handler thread) and by serve_forever's exit
+        # path; the lock makes teardown run exactly once.
+        with self._shutdown_lock:
+            if self._stopped.is_set():
+                return
+            self._stop_event.set()
+            if self._dispatcher is not None:
+                self._dispatcher.join(timeout=5.0)
+            try:
+                self._server.server_close()
+            except OSError:
+                pass
+            self.scheduler.pool.shutdown()
+            self.scheduler.close()
+            self._stopped.set()
+
+
+def tempfile_cache_dir() -> str:
+    """A fresh throwaway cache dir for stateless (state_dir-less) daemons."""
+    import tempfile
+
+    return tempfile.mkdtemp(prefix="repro-serve-cache-")
+
+
+def wait_for_daemon(
+    host: str, port: int, timeout: float = 10.0, poll: float = 0.05
+) -> bool:
+    """Poll until a daemon answers ``ping`` on ``host:port`` (or time out)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection((host, port), timeout=poll * 4) as sock:
+                sock.sendall(encode_frame({"verb": "ping"}))
+                if sock.recv(1024):
+                    return True
+        except OSError:
+            pass
+        time.sleep(poll)
+    return False
+
+
+__all__ = ["Scheduler", "ServeDaemon", "wait_for_daemon"]

@@ -1,0 +1,199 @@
+"""Job bookkeeping: priority queue + append-only journal.
+
+A :class:`Job` is one accepted submission (scenario dict, cache key,
+integer priority, state machine per :mod:`repro.serve.protocol`).
+:class:`JobQueue` orders queued jobs by descending priority with FIFO
+ties (a submission sequence number breaks them), using lazy deletion
+so cancelling a queued job is O(1).
+
+:class:`Journal` is what makes the queue survive a daemon kill: every
+accepted submission and every terminal transition is one JSON line,
+appended and flushed before the client sees the ack.  Replaying the
+journal (:func:`replay_events`) rebuilds the job table; jobs with no
+terminal event -- queued or mid-run at the kill -- come back
+``queued`` and are re-dispatched.  A torn final line (the kill raced
+an append) is ignored, so replay always succeeds on a journal the
+daemon itself wrote.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.serve.protocol import CANCELLED, DONE, FAILED, QUEUED, TERMINAL_STATES
+
+
+@dataclass
+class Job:
+    """One accepted scenario submission and its lifecycle state."""
+
+    id: str
+    scenario: Dict[str, Any]
+    key: str
+    priority: int = 0
+    seq: int = 0
+    state: str = QUEUED
+    attempts: int = 0
+    error: Optional[str] = None
+    #: The result came straight from the on-disk cache (born terminal).
+    cached: bool = False
+    #: How many duplicate submissions were coalesced onto this job.
+    coalesced: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def public_status(self) -> Dict[str, Any]:
+        """The wire form of this job's status (``status`` verb)."""
+        status: Dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "key": self.key,
+            "priority": self.priority,
+            "attempts": self.attempts,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+        }
+        if self.error is not None:
+            status["error"] = self.error
+        return status
+
+
+class JobQueue:
+    """Max-priority queue of queued jobs with FIFO ties and lazy deletion.
+
+    ``push`` stores a heap entry; ``pop`` returns the next job that is
+    *still* in the ``queued`` state, silently discarding entries whose
+    job was cancelled (or re-pushed -- a stale entry for a requeued
+    job is recognised by its generation counter and skipped).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, int, Job]] = []
+        self._generation: Dict[str, int] = {}
+
+    def push(self, job: Job) -> None:
+        generation = self._generation.get(job.id, 0) + 1
+        self._generation[job.id] = generation
+        heapq.heappush(self._heap, (-job.priority, job.seq, generation, job))
+
+    def pop(self) -> Optional[Job]:
+        while self._heap:
+            _, _, generation, job = heapq.heappop(self._heap)
+            if job.state == QUEUED and self._generation.get(job.id) == generation:
+                return job
+        return None
+
+    def __len__(self) -> int:
+        """Live queued entries (stale heap entries excluded)."""
+        return sum(
+            1
+            for _, _, generation, job in self._heap
+            if job.state == QUEUED and self._generation.get(job.id) == generation
+        )
+
+
+class Journal:
+    """Append-only NDJSON event log; one flush per accepted event.
+
+    Events: ``{"event": "submit", "id", "key", "priority", "seq",
+    "scenario"}`` on acceptance, then at most one of ``done`` (record
+    key in the cache), ``failed`` (error string) or ``cancelled``.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    def append(self, event: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(event, separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> List[Dict[str, Any]]:
+        """Every intact event in the journal, oldest first.
+
+        A torn final line -- the daemon was killed mid-append -- is
+        dropped; a torn line anywhere *else* means outside tampering
+        and raises ``ValueError`` so the operator sees it.
+        """
+        path = Path(path)
+        if not path.exists():
+            return []
+        events: List[Dict[str, Any]] = []
+        torn_at: Optional[int] = None
+        with path.open("r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    event = json.loads(line)
+                    if not isinstance(event, dict):
+                        raise ValueError("journal event is not an object")
+                except ValueError:
+                    torn_at = lineno
+                    continue
+                if torn_at is not None:
+                    raise ValueError(
+                        f"journal {path} is corrupt at line {torn_at} "
+                        "(not the final line; refusing to replay)"
+                    )
+                events.append(event)
+        return events
+
+
+def replay_events(
+    events: Iterator[Dict[str, Any]],
+) -> Tuple[Dict[str, Job], int]:
+    """Rebuild the job table from journal events.
+
+    Returns ``(jobs by id, next submission seq)``.  Jobs without a
+    terminal event come back in the ``queued`` state regardless of
+    whether they were queued or running at the kill -- their worker
+    died with the daemon, so they must re-dispatch.  Unknown event
+    types and events for unknown ids are ignored (forward
+    compatibility).
+    """
+    jobs: Dict[str, Job] = {}
+    next_seq = 0
+    for event in events:
+        kind = event.get("event")
+        job_id = event.get("id")
+        if kind == "submit":
+            if not isinstance(job_id, str) or not isinstance(
+                event.get("scenario"), dict
+            ):
+                continue
+            seq = int(event.get("seq", next_seq))
+            jobs[job_id] = Job(
+                id=job_id,
+                scenario=event["scenario"],
+                key=str(event.get("key", "")),
+                priority=int(event.get("priority", 0)),
+                seq=seq,
+                state=QUEUED,
+            )
+            next_seq = max(next_seq, seq + 1)
+        elif kind in (DONE, FAILED, CANCELLED) and job_id in jobs:
+            job = jobs[job_id]
+            job.state = kind
+            if kind == FAILED:
+                job.error = str(event.get("error", "unknown failure"))
+            if kind == DONE:
+                job.cached = bool(event.get("cached", False))
+    return jobs, next_seq
+
+
+__all__ = ["Job", "JobQueue", "Journal", "replay_events"]

@@ -1,0 +1,278 @@
+"""The backend worker pool: one job at a time per worker process.
+
+Each worker is an OS process with its *own* single-slot task queue --
+the parent decides placement, so it always knows which process holds
+which job and can terminate exactly that worker when the job's
+deadline passes or the job is cancelled (then respawn a fresh one).
+Completions flow back over one shared queue.
+
+The worker body is deliberately thin: rebuild the scenario from its
+dict, run it on the configured backend, post the
+:meth:`~repro.api.RunResult.to_record` record.  Registries are
+repopulated by importing :mod:`repro.api` inside the child, so the
+pool works under any ``multiprocessing`` start method -- the same
+spawn-safety rule as :mod:`repro.runtime.process_hub`.  Workers are
+*not* daemonic: the ``process`` backend spawns one child per rank,
+which daemonic processes may not do.
+
+Timeout policy lives in the caller (the scheduler decides retry vs.
+fail and reuses :class:`~repro.runtime.executor.BackendTimeoutError`
+naming); this module only enforces deadlines mechanically via
+:meth:`WorkerPool.reap_expired`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def _worker_main(
+    worker_id: int,
+    task_queue: Any,
+    done_queue: Any,
+    backend_name: str,
+    backend_kwargs: Dict[str, Any],
+) -> None:
+    """Run jobs forever: ``(job_id, scenario_dict)`` in, events out."""
+    import repro.api  # noqa: F401 - repopulates registries under spawn
+    from repro.api.backends import get_backend
+    from repro.api.scenario import Scenario
+
+    backend = get_backend(backend_name, **backend_kwargs)
+    while True:
+        item = task_queue.get()
+        if item is None:
+            break
+        job_id, scenario_dict = item
+        try:
+            result = backend.run(Scenario.from_dict(scenario_dict))
+            record = result.to_record()
+            done_queue.put((worker_id, job_id, "done", record))
+        except BaseException as exc:  # noqa: BLE001 - reported per job
+            try:
+                done_queue.put(
+                    (worker_id, job_id, "failed", f"{type(exc).__name__}: {exc}")
+                )
+            except Exception:  # noqa: BLE001 - parent is gone; nothing to do
+                break
+
+
+class _Worker:
+    """One live worker process plus its current assignment."""
+
+    def __init__(self, worker_id: int, ctx, done_queue, backend_name, backend_kwargs):
+        self.id = worker_id
+        self.task_queue = ctx.Queue()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self.task_queue, done_queue, backend_name, backend_kwargs),
+            name=f"repro-serve-worker-{worker_id}",
+            daemon=False,
+        )
+        self.process.start()
+        self.job_id: Optional[str] = None
+        self.deadline: Optional[float] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.job_id is not None
+
+    def assign(self, job_id: str, scenario: Dict[str, Any], timeout: float) -> None:
+        self.job_id = job_id
+        self.deadline = time.monotonic() + timeout
+        self.task_queue.put((job_id, scenario))
+
+    def release(self) -> None:
+        self.job_id = None
+        self.deadline = None
+
+    def destroy(self) -> None:
+        """Terminate the process and abandon its queue."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=2.0)
+        try:
+            self.process.close()
+        except ValueError:
+            pass  # unkillable (uninterruptible sleep); reaped by the OS later
+        self.task_queue.cancel_join_thread()
+        self.task_queue.close()
+
+
+class WorkerPool:
+    """A fixed-size pool of backend worker processes.
+
+    ::
+
+        pool = WorkerPool(backend="simulated", size=2, job_timeout=60.0)
+        pool.dispatch("j000001", scenario.to_dict())
+        for job_id, kind, payload in pool.poll(timeout=0.05):
+            ...                      # kind: "done" | "failed" | "crashed"
+        for job_id in pool.reap_expired():
+            ...                      # worker killed + respawned
+        pool.shutdown()
+
+    ``poll`` also notices a worker that died *without* posting an
+    event (segfault, OOM kill) and surfaces its job as ``crashed``;
+    the dead worker is replaced, so the pool never shrinks.
+    """
+
+    def __init__(
+        self,
+        backend: str = "simulated",
+        size: int = 2,
+        job_timeout: float = 60.0,
+        backend_kwargs: Optional[Dict[str, Any]] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"worker pool size must be >= 1, got {size}")
+        if job_timeout <= 0:
+            raise ValueError(f"job_timeout must be > 0, got {job_timeout}")
+        self.backend = backend
+        self.size = size
+        self.job_timeout = job_timeout
+        self._backend_kwargs = dict(backend_kwargs or {})
+        self._ctx = multiprocessing.get_context(start_method)
+        self._done = self._ctx.Queue()
+        self._next_worker_id = 0
+        self._workers: Dict[int, _Worker] = {}
+        self._respawns = 0
+        self._closed = False
+        for _ in range(size):
+            self._spawn()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self) -> _Worker:
+        worker = _Worker(
+            self._next_worker_id,
+            self._ctx,
+            self._done,
+            self.backend,
+            self._backend_kwargs,
+        )
+        self._workers[worker.id] = worker
+        self._next_worker_id += 1
+        return worker
+
+    def _replace(self, worker: _Worker) -> None:
+        """Kill a worker (timeout/cancel/crash) and restore pool size."""
+        del self._workers[worker.id]
+        worker.destroy()
+        self._respawns += 1
+        self._spawn()
+
+    def shutdown(self) -> None:
+        """Stop every worker; idle ones exit cleanly, busy ones are killed."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in list(self._workers.values()):
+            if worker.busy:
+                continue
+            try:
+                worker.task_queue.put(None)
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in list(self._workers.values()):
+            if not worker.busy:
+                worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for worker in list(self._workers.values()):
+            worker.destroy()
+        self._workers.clear()
+        self._done.cancel_join_thread()
+        self._done.close()
+
+    # ------------------------------------------------------------------
+    # dispatch / completion
+    # ------------------------------------------------------------------
+    @property
+    def idle_count(self) -> int:
+        return sum(1 for worker in self._workers.values() if not worker.busy)
+
+    @property
+    def busy_jobs(self) -> List[str]:
+        return [w.job_id for w in self._workers.values() if w.job_id is not None]
+
+    def dispatch(self, job_id: str, scenario: Dict[str, Any]) -> bool:
+        """Hand a job to an idle worker; False when all are busy."""
+        for worker in self._workers.values():
+            if not worker.busy:
+                worker.assign(job_id, scenario, self.job_timeout)
+                return True
+        return False
+
+    def poll(self, timeout: float = 0.05) -> List[Tuple[str, str, Any]]:
+        """Job events since the last poll: ``(job_id, kind, payload)``.
+
+        Blocks up to ``timeout`` for the first event, then drains
+        whatever else is ready.  Events from a worker that has since
+        been replaced (its job was cancelled or timed out) are
+        dropped -- the scheduler already settled that job.
+        """
+        events: List[Tuple[str, str, Any]] = []
+        block = True
+        while True:
+            try:
+                worker_id, job_id, kind, payload = self._done.get(
+                    timeout=timeout if block else 0.0
+                )
+            except queue_module.Empty:
+                break
+            block = False
+            worker = self._workers.get(worker_id)
+            if worker is None or worker.job_id != job_id:
+                continue  # stale: that worker was reaped for this very job
+            worker.release()
+            events.append((job_id, kind, payload))
+        for worker in list(self._workers.values()):
+            if worker.busy and not worker.process.is_alive():
+                job_id = worker.job_id
+                self._replace(worker)
+                events.append(
+                    (job_id, "crashed", "worker process died mid-job")
+                )
+        return events
+
+    def reap_expired(self, now: Optional[float] = None) -> List[str]:
+        """Kill workers whose job deadline has passed; respawn each.
+
+        Returns the job ids that were reaped, for the scheduler to
+        retry or fail.
+        """
+        now = time.monotonic() if now is None else now
+        reaped: List[str] = []
+        for worker in list(self._workers.values()):
+            if worker.busy and worker.deadline is not None and now > worker.deadline:
+                reaped.append(worker.job_id)
+                self._replace(worker)
+        return reaped
+
+    def kill_job(self, job_id: str) -> bool:
+        """Terminate the worker running ``job_id`` (cancel support)."""
+        for worker in list(self._workers.values()):
+            if worker.job_id == job_id:
+                self._replace(worker)
+                return True
+        return False
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "workers": len(self._workers),
+            "busy": len(self._workers) - self.idle_count,
+            "respawns": self._respawns,
+            "backend": self.backend,
+            "job_timeout": self.job_timeout,
+        }
+
+
+__all__ = ["WorkerPool"]

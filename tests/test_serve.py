@@ -1,0 +1,610 @@
+"""Tests for the scenario submission service (``repro.serve``).
+
+Three altitudes:
+
+* pure protocol/queue/cache units (no daemon, no processes);
+* the :class:`~repro.serve.daemon.Scheduler` state machine driven
+  directly with a deterministic stub worker pool -- malformed frames,
+  cancel-after-start, duplicate coalescing, timeout retry/failure and
+  resume-after-kill journal replay, all without sockets;
+* one end-to-end daemon smoke over a real TCP socket with real worker
+  processes (kept small: this is the integration seam, the load story
+  lives in ``benchmarks/serve_load.py``).
+
+Plus the two satellite regressions at the API layer:
+``Scenario.content_hash`` / record join keys, and ``sweep`` surviving
+a grid point that kills its pool worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.api import Scenario, run_scenario, sweep
+from repro.api.result import RunResult
+from repro.serve import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobQueue,
+    Journal,
+    ProtocolError,
+    ResultCache,
+    Scheduler,
+    ServeClient,
+    ServeDaemon,
+    ServeError,
+)
+from repro.serve.protocol import (
+    decode_frame,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    parse_request,
+)
+
+
+# ---------------------------------------------------------------------------
+# satellite: content hash + record join key
+# ---------------------------------------------------------------------------
+
+class TestContentHash:
+    def test_label_excluded(self):
+        a = Scenario(problem="sparse_linear", seed=7, name="first")
+        b = Scenario(problem="sparse_linear", seed=7, name="second")
+        assert a.content_hash() == b.content_hash()
+
+    def test_content_fields_included(self):
+        base = Scenario(problem="sparse_linear", seed=7)
+        assert base.content_hash() != base.derive(seed=8).content_hash()
+        assert base.content_hash() != base.derive(n_ranks=6).content_hash()
+        assert (
+            base.content_hash()
+            != base.derive(problem_params__n=999).content_hash()
+        )
+        faulty = base.derive(
+            faults={"seed": 1, "events": [
+                {"kind": "message_loss", "probability": 0.1}]}
+        )
+        assert base.content_hash() != faulty.content_hash()
+
+    def test_stable_across_json_round_trip(self):
+        scenario = Scenario(
+            problem="sparse_linear",
+            problem_params={"n": 600, "dominance": 0.9},
+            cluster_params={"speed_scale": 0.003},
+            seed=3,
+        )
+        rebuilt = Scenario.from_dict(
+            json.loads(json.dumps(scenario.to_dict()))
+        )
+        assert rebuilt.content_hash() == scenario.content_hash()
+
+    def test_record_carries_join_key(self):
+        scenario = Scenario(
+            problem="sparse_linear", problem_params={"n": 60}, seed=1
+        )
+        record = run_scenario(scenario).to_record()
+        assert record["scenario_hash"] == scenario.content_hash()
+        rebuilt = RunResult.from_record(record)
+        assert rebuilt.to_record()["scenario_hash"] == scenario.content_hash()
+
+    def test_scenarioless_record_has_null_key(self):
+        result = run_scenario(
+            Scenario(problem="sparse_linear", problem_params={"n": 60}, seed=1)
+        )
+        result.scenario = None
+        assert result.to_record()["scenario_hash"] is None
+
+
+# ---------------------------------------------------------------------------
+# satellite: sweep survives a worker-killing grid point
+# ---------------------------------------------------------------------------
+
+class _ExplodingBackend:
+    """Kills its own pool worker for one grid point, errors for another."""
+
+    name = "_exploding"
+
+    def run(self, scenario):
+        n = scenario.problem_params.get("n")
+        if n == 66:
+            os._exit(3)
+        if n == 70:
+            raise ValueError("deliberate failure")
+        from repro.api.backends import SimulatedBackend
+
+        return SimulatedBackend().run(scenario)
+
+
+class TestSweepPerItemErrors:
+    def test_worker_death_is_one_error_record(self):
+        base = Scenario(problem="sparse_linear", seed=3)
+        grid = [base.derive(problem_params__n=n) for n in (60, 66, 70, 80)]
+        records = sweep(grid, backend=_ExplodingBackend(), processes=2)
+        assert [r["index"] for r in records] == [0, 1, 2, 3]
+        assert "error" not in records[0] and records[0]["converged"]
+        assert "BrokenProcessPool" in records[1]["error"]
+        assert "deliberate failure" in records[2]["error"]
+        assert "error" not in records[3] and records[3]["converged"]
+
+    def test_in_process_sweep_unchanged(self):
+        base = Scenario(problem="sparse_linear", seed=3)
+        grid = [base.derive(problem_params__n=n) for n in (60, 70)]
+        records = sweep(grid, backend=_ExplodingBackend(), processes=1)
+        assert "error" not in records[0]
+        assert "deliberate failure" in records[1]["error"]
+
+
+# ---------------------------------------------------------------------------
+# protocol frames
+# ---------------------------------------------------------------------------
+
+class TestProtocol:
+    @pytest.mark.parametrize(
+        "line",
+        [b"not json\n", b"[1, 2]\n", b'"bare string"\n', b"\xff\xfe\n"],
+    )
+    def test_malformed_frames_rejected(self, line):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(line)
+        assert info.value.code == "bad-frame"
+
+    def test_missing_and_unknown_verbs(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request({"scenario": {}})
+        assert info.value.code == "bad-frame"
+        with pytest.raises(ProtocolError) as info:
+            parse_request({"verb": "launch"})
+        assert info.value.code == "unknown-verb"
+
+    def test_submit_validation(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request({"verb": "submit"})
+        assert info.value.code == "bad-submit"
+        with pytest.raises(ProtocolError) as info:
+            parse_request(
+                {"verb": "submit", "scenario": {}, "priority": "high"}
+            )
+        assert info.value.code == "bad-submit"
+        frame = parse_request({"verb": "submit", "scenario": {"problem": "x"}})
+        assert frame["priority"] == 0
+
+    def test_job_verbs_require_id(self):
+        for verb in ("status", "result", "cancel"):
+            with pytest.raises(ProtocolError):
+                parse_request({"verb": verb})
+
+    def test_frame_round_trip(self):
+        frame = ok_frame(id="j000001", state=QUEUED)
+        assert decode_frame(encode_frame(frame)) == frame
+        refusal = error_frame("nope", "unknown-job")
+        assert decode_frame(encode_frame(refusal))["code"] == "unknown-job"
+
+
+# ---------------------------------------------------------------------------
+# queue + cache units
+# ---------------------------------------------------------------------------
+
+class TestJobQueue:
+    @staticmethod
+    def job(job_id, priority, seq):
+        return Job(id=job_id, scenario={}, key=job_id, priority=priority, seq=seq)
+
+    def test_priority_then_fifo(self):
+        queue = JobQueue()
+        jobs = [
+            self.job("a", 0, 0), self.job("b", 5, 1),
+            self.job("c", 5, 2), self.job("d", 9, 3),
+        ]
+        for job in jobs:
+            queue.push(job)
+        assert [queue.pop().id for _ in range(4)] == ["d", "b", "c", "a"]
+        assert queue.pop() is None
+
+    def test_lazy_cancel_and_requeue_generation(self):
+        queue = JobQueue()
+        first, second = self.job("a", 1, 0), self.job("b", 0, 1)
+        queue.push(first)
+        queue.push(second)
+        first.state = CANCELLED
+        assert queue.pop().id == "b"
+        # requeue: the stale generation entry must not resurface
+        second.state = QUEUED
+        queue.push(second)
+        assert queue.pop().id == "b"
+        assert queue.pop() is None
+
+
+class TestResultCache:
+    def test_round_trip_and_counters(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        scenario = Scenario(problem="sparse_linear", seed=4)
+        key = ResultCache.key_for(scenario)
+        assert key.endswith("-s4")
+        assert cache.get(key) is None
+        cache.put(key, {"makespan": 1.0})
+        assert cache.get(key) == {"makespan": 1.0}
+        assert key in cache and len(cache) == 1
+        assert cache.stats() == {
+            "entries": 1, "hits": 1, "misses": 1, "corrupt": 0,
+        }
+
+    def test_corrupt_entry_is_a_miss_and_deleted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"x": 1})
+        cache.path_for("k").write_text("{torn", encoding="utf-8")
+        assert cache.get("k") is None
+        assert not cache.path_for("k").exists()
+        assert cache.stats()["corrupt"] == 1
+
+
+# ---------------------------------------------------------------------------
+# scheduler state machine (stub pool -- no processes, fully deterministic)
+# ---------------------------------------------------------------------------
+
+class StubPool:
+    """A hand-cranked worker pool: the test decides when jobs finish."""
+
+    def __init__(self, size=2, job_timeout=60.0):
+        self.size = size
+        self.job_timeout = job_timeout
+        self.running = {}
+        self.killed = []
+        self.events = []
+        self.expired = []
+
+    @property
+    def idle_count(self):
+        return self.size - len(self.running)
+
+    def dispatch(self, job_id, scenario):
+        self.running[job_id] = scenario
+        return True
+
+    def poll(self, timeout=0.0):
+        events, self.events = self.events, []
+        for job_id, _, _ in events:
+            self.running.pop(job_id, None)
+        return events
+
+    def reap_expired(self, now=None):
+        expired, self.expired = self.expired, []
+        for job_id in expired:
+            self.running.pop(job_id, None)
+        return expired
+
+    def kill_job(self, job_id):
+        self.killed.append(job_id)
+        return self.running.pop(job_id, None) is not None
+
+    def finish(self, job_id, record=None):
+        self.events.append((job_id, "done", record or {"makespan": 1.0}))
+
+    def fail(self, job_id, error="RuntimeError: boom"):
+        self.events.append((job_id, "failed", error))
+
+    def expire(self, job_id):
+        self.expired.append(job_id)
+
+    def stats(self):
+        return {"workers": self.size, "busy": len(self.running)}
+
+    def shutdown(self):
+        pass
+
+
+SCENARIO = Scenario(problem="sparse_linear", problem_params={"n": 60}, seed=1)
+OTHER = Scenario(problem="sparse_linear", problem_params={"n": 70}, seed=2)
+
+
+def make_scheduler(tmp_path, state=True, **kwargs):
+    pool = StubPool(**{k: v for k, v in kwargs.items() if k in ("size", "job_timeout")})
+    scheduler = Scheduler(
+        pool,
+        ResultCache(tmp_path / "cache"),
+        state_dir=(tmp_path / "state") if state else None,
+        max_attempts=kwargs.get("max_attempts", 2),
+    )
+    return scheduler, pool
+
+
+class TestSchedulerStateMachine:
+    def test_submit_dispatch_complete(self, tmp_path):
+        scheduler, pool = make_scheduler(tmp_path)
+        ack = scheduler.submit(SCENARIO.to_dict(), priority=3)
+        assert ack["state"] == QUEUED and not ack["cached"]
+        scheduler.tick()
+        assert scheduler.status(ack["id"])["state"] == RUNNING
+        pool.finish(ack["id"], {"makespan": 2.5, "converged": True})
+        scheduler.tick()
+        frame = scheduler.result(ack["id"])
+        assert frame["state"] == DONE
+        assert frame["record"]["makespan"] == 2.5
+
+    def test_bad_scenario_refused(self, tmp_path):
+        scheduler, _ = make_scheduler(tmp_path)
+        with pytest.raises(ProtocolError) as info:
+            scheduler.submit({"problem": "sparse_linear", "bogus_field": 1})
+        assert info.value.code == "bad-scenario"
+        with pytest.raises(ProtocolError) as info:
+            scheduler.submit(
+                {"problem": "sparse_linear", "algorithm": "no_such_worker"}
+            )
+        assert info.value.code == "bad-scenario"
+
+    def test_unknown_job(self, tmp_path):
+        scheduler, _ = make_scheduler(tmp_path)
+        with pytest.raises(ProtocolError) as info:
+            scheduler.status("j999999")
+        assert info.value.code == "unknown-job"
+
+    def test_duplicate_coalesces_while_queued_and_running(self, tmp_path):
+        scheduler, pool = make_scheduler(tmp_path)
+        first = scheduler.submit(SCENARIO.to_dict(), priority=1)
+        queued_twin = scheduler.submit(SCENARIO.derive(name="twin").to_dict())
+        assert queued_twin["coalesced"] and queued_twin["id"] == first["id"]
+        scheduler.tick()  # now running
+        running_twin = scheduler.submit(SCENARIO.to_dict())
+        assert running_twin["coalesced"] and running_twin["id"] == first["id"]
+        assert scheduler.counters["coalesced"] == 2
+        # one execution satisfies all three submissions
+        pool.finish(first["id"])
+        scheduler.tick()
+        assert scheduler.status(first["id"])["state"] == DONE
+        assert scheduler.status(first["id"])["coalesced"] == 2
+
+    def test_duplicate_after_done_hits_cache(self, tmp_path):
+        scheduler, pool = make_scheduler(tmp_path)
+        first = scheduler.submit(SCENARIO.to_dict())
+        scheduler.tick()
+        pool.finish(first["id"], {"makespan": 9.0})
+        scheduler.tick()
+        again = scheduler.submit(SCENARIO.derive(name="later").to_dict())
+        assert again["cached"] and again["state"] == DONE
+        assert again["id"] != first["id"]  # a fresh, born-terminal job
+        assert scheduler.result(again["id"])["record"]["makespan"] == 9.0
+        assert scheduler.counters["cache_hits"] == 1
+        assert len(pool.running) == 0  # nothing re-executed
+
+    def test_priority_order_and_coalesce_priority_bump(self, tmp_path):
+        scheduler, pool = make_scheduler(tmp_path, size=1)
+        low = scheduler.submit(SCENARIO.to_dict(), priority=1)
+        high = scheduler.submit(OTHER.to_dict(), priority=8)
+        scheduler.tick()  # single worker: high must run first
+        assert scheduler.status(high["id"])["state"] == RUNNING
+        assert scheduler.status(low["id"])["state"] == QUEUED
+        # a duplicate with a higher priority bumps the queued twin
+        bump = scheduler.submit(SCENARIO.to_dict(), priority=9)
+        assert bump["id"] == low["id"]
+        assert scheduler.status(low["id"])["priority"] == 9
+
+    def test_cancel_queued(self, tmp_path):
+        scheduler, pool = make_scheduler(tmp_path, size=1)
+        running = scheduler.submit(SCENARIO.to_dict())
+        scheduler.tick()
+        queued = scheduler.submit(OTHER.to_dict())
+        frame = scheduler.cancel(queued["id"])
+        assert frame["state"] == CANCELLED and frame["changed"]
+        assert pool.killed == []  # never started, nothing to kill
+        pool.finish(running["id"])
+        scheduler.tick()
+        assert scheduler.status(queued["id"])["state"] == CANCELLED
+
+    def test_cancel_after_start_kills_worker_and_ignores_late_event(self, tmp_path):
+        scheduler, pool = make_scheduler(tmp_path)
+        ack = scheduler.submit(SCENARIO.to_dict())
+        scheduler.tick()
+        assert scheduler.status(ack["id"])["state"] == RUNNING
+        frame = scheduler.cancel(ack["id"])
+        assert frame["state"] == CANCELLED
+        assert pool.killed == [ack["id"]]
+        # a completion that raced the kill must not resurrect the job
+        pool.finish(ack["id"])
+        scheduler.tick()
+        assert scheduler.status(ack["id"])["state"] == CANCELLED
+        # and the scenario is submittable again (not stuck on the dead twin)
+        fresh = scheduler.submit(SCENARIO.to_dict())
+        assert not fresh["coalesced"] and fresh["id"] != ack["id"]
+
+    def test_cancel_terminal_is_noop(self, tmp_path):
+        scheduler, pool = make_scheduler(tmp_path)
+        ack = scheduler.submit(SCENARIO.to_dict())
+        scheduler.tick()
+        pool.finish(ack["id"])
+        scheduler.tick()
+        frame = scheduler.cancel(ack["id"])
+        assert frame["state"] == DONE and not frame["changed"]
+
+    def test_timeout_retries_then_fails_with_backend_timeout(self, tmp_path):
+        scheduler, pool = make_scheduler(tmp_path, max_attempts=2)
+        ack = scheduler.submit(SCENARIO.to_dict())
+        scheduler.tick()
+        pool.expire(ack["id"])
+        scheduler.tick()  # attempt 1 reaped -> requeued
+        status = scheduler.status(ack["id"])
+        assert status["attempts"] == 1
+        assert scheduler.counters["retries"] == 1
+        scheduler.tick()  # redispatched
+        assert scheduler.status(ack["id"])["state"] == RUNNING
+        pool.expire(ack["id"])
+        scheduler.tick()  # attempt 2 reaped -> out of attempts
+        status = scheduler.status(ack["id"])
+        assert status["state"] == FAILED
+        assert status["error"].startswith("BackendTimeoutError")
+
+    def test_worker_crash_retries(self, tmp_path):
+        scheduler, pool = make_scheduler(tmp_path)
+        ack = scheduler.submit(SCENARIO.to_dict())
+        scheduler.tick()
+        pool.events.append((ack["id"], "crashed", "worker process died"))
+        scheduler.tick()
+        assert scheduler.status(ack["id"])["state"] in (QUEUED, RUNNING)
+        assert scheduler.counters["retries"] == 1
+
+    def test_deterministic_error_fails_immediately(self, tmp_path):
+        scheduler, pool = make_scheduler(tmp_path)
+        ack = scheduler.submit(SCENARIO.to_dict())
+        scheduler.tick()
+        pool.fail(ack["id"], "ValueError: singular matrix")
+        scheduler.tick()
+        status = scheduler.status(ack["id"])
+        assert status["state"] == FAILED and "singular" in status["error"]
+        assert scheduler.counters["retries"] == 0
+        # a failed key is submittable again
+        fresh = scheduler.submit(SCENARIO.to_dict())
+        assert not fresh["coalesced"] and not fresh["cached"]
+
+    def test_stats_shape(self, tmp_path):
+        scheduler, pool = make_scheduler(tmp_path)
+        scheduler.submit(SCENARIO.to_dict())
+        stats = scheduler.stats()
+        assert stats["jobs"] == {QUEUED: 1}
+        assert stats["queued"] == 1
+        assert set(stats["counters"]) >= {
+            "submitted", "completed", "failed", "cancelled",
+            "cache_hits", "coalesced", "retries", "replayed",
+        }
+        assert "entries" in stats["cache"] and "workers" in stats["pool"]
+
+
+class TestJournalReplay:
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "journal.ndjson"
+        journal = Journal(path)
+        journal.append({"event": "submit", "id": "j1", "seq": 0,
+                        "key": "k", "priority": 0, "scenario": {"problem": "x"}})
+        journal.close()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"event": "done", "id": "j1"')  # torn mid-append
+        events = Journal.load(path)
+        assert [e["event"] for e in events] == ["submit"]
+
+    def test_torn_middle_line_refuses(self, tmp_path):
+        path = tmp_path / "journal.ndjson"
+        path.write_text('{"event": "submit"\n{"event": "done", "id": "j1"}\n')
+        with pytest.raises(ValueError, match="corrupt"):
+            Journal.load(path)
+
+    def test_resume_after_kill(self, tmp_path):
+        scheduler, pool = make_scheduler(tmp_path)
+        done = scheduler.submit(SCENARIO.to_dict(), priority=2)
+        lost = scheduler.submit(OTHER.to_dict(), priority=5)
+        third = Scenario(problem="sparse_linear", problem_params={"n": 90}, seed=9)
+        queued = scheduler.submit(third.to_dict(), priority=1)
+        scheduler.tick()  # done + lost running (2 workers), queued waits
+        pool.finish(done["id"], {"makespan": 4.0})
+        scheduler.tick()
+        # kill: no clean shutdown, just abandon the scheduler object
+        del scheduler
+
+        revived, pool2 = make_scheduler(tmp_path)
+        assert revived.counters["replayed"] == 2
+        # the finished job survived as terminal, record intact
+        assert revived.result(done["id"])["state"] == DONE
+        assert revived.result(done["id"])["record"]["makespan"] == 4.0
+        # unfinished jobs are queued again under their original ids
+        assert revived.status(lost["id"])["state"] == QUEUED
+        assert revived.status(queued["id"])["state"] == QUEUED
+        # priority survives replay: the priority-5 job dispatches first
+        pool2.size = 1
+        revived.tick()
+        assert revived.status(lost["id"])["state"] == RUNNING
+        # duplicates of replayed jobs coalesce rather than re-execute
+        twin = revived.submit(OTHER.to_dict())
+        assert twin["coalesced"] and twin["id"] == lost["id"]
+        # id counter continues past the dead daemon's ids
+        fresh = revived.submit(
+            Scenario(problem="sparse_linear", problem_params={"n": 95}).to_dict()
+        )
+        assert fresh["id"] > queued["id"]
+
+    def test_resume_requeues_done_job_whose_cache_entry_vanished(self, tmp_path):
+        scheduler, pool = make_scheduler(tmp_path)
+        ack = scheduler.submit(SCENARIO.to_dict())
+        scheduler.tick()
+        pool.finish(ack["id"])
+        scheduler.tick()
+        key = scheduler.status(ack["id"])["key"]
+        del scheduler
+        os.unlink(tmp_path / "cache" / f"{key}.json")
+
+        revived, _ = make_scheduler(tmp_path)
+        assert revived.status(ack["id"])["state"] == QUEUED
+        assert revived.counters["replayed"] == 1
+
+    def test_stateless_scheduler_has_no_journal(self, tmp_path):
+        scheduler, pool = make_scheduler(tmp_path, state=False)
+        ack = scheduler.submit(SCENARIO.to_dict())
+        assert ack["state"] == QUEUED
+        assert not (tmp_path / "state").exists()
+
+
+# ---------------------------------------------------------------------------
+# end-to-end daemon over a real socket with real worker processes
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def daemon(tmp_path):
+    daemon = ServeDaemon(
+        port=0,
+        backend="simulated",
+        workers=2,
+        job_timeout=60.0,
+        state_dir=tmp_path / "state",
+    )
+    daemon.start()
+    yield daemon
+    daemon.stop()
+
+
+class TestDaemonEndToEnd:
+    def test_submit_wait_cache_stats(self, daemon):
+        scenario = Scenario(
+            problem="sparse_linear", problem_params={"n": 80}, seed=1
+        )
+        with ServeClient(port=daemon.port) as client:
+            assert client.ping()
+            ack = client.submit(scenario, priority=5)
+            frame = client.wait(ack["id"], timeout=60.0)
+            assert frame["state"] == DONE
+            assert frame["record"]["converged"]
+            assert frame["record"]["scenario_hash"] == scenario.content_hash()
+            again = client.submit(scenario.derive(name="again"))
+            assert again["cached"] and again["state"] == DONE
+            stats = client.stats()
+            assert stats["counters"]["cache_hits"] == 1
+            assert stats["counters"]["completed"] == 2
+
+    def test_malformed_line_keeps_connection_alive(self, daemon):
+        import socket as socket_module
+
+        with socket_module.create_connection(
+            ("127.0.0.1", daemon.port), timeout=10.0
+        ) as sock:
+            handle = sock.makefile("rb")
+            sock.sendall(b"this is not json\n")
+            refusal = json.loads(handle.readline())
+            assert refusal["ok"] is False and refusal["code"] == "bad-frame"
+            sock.sendall(b'{"verb": "launch"}\n')
+            refusal = json.loads(handle.readline())
+            assert refusal["code"] == "unknown-verb"
+            sock.sendall(encode_frame({"verb": "ping"}))
+            assert json.loads(handle.readline())["ok"] is True
+
+    def test_unknown_job_is_a_serve_error(self, daemon):
+        with ServeClient(port=daemon.port) as client:
+            with pytest.raises(ServeError) as info:
+                client.status("j424242")
+            assert info.value.code == "unknown-job"
+
+    def test_shutdown_verb_stops_daemon(self, daemon):
+        with ServeClient(port=daemon.port) as client:
+            assert client.shutdown()["stopping"]
+        assert daemon._stopped.wait(timeout=10.0)
