@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Kill/resume acceptance harness for the sharded sweep executor.
+
+Launches ``repro sweep --conformance N`` as a real subprocess against a
+state dir, watches the sweep journal, SIGKILLs the process once a
+configurable fraction of the distinct units has settled, relaunches
+with ``--resume`` and asserts the executor's durability contract end
+to end:
+
+* **One terminal record per grid index**: the resumed run's output
+  holds exactly N records, indices ``0..N-1``, no duplicates, no
+  losses, no error records (conformance scenarios are all valid).
+* **Zero re-execution of settled units**: every unit journaled as done
+  at the kill comes back as ``resumed`` (cache-hit, free); the resumed
+  run executes exactly ``distinct - resumed`` units.  Verified from
+  the executor's own counters, cross-checked against the journal
+  snapshot taken at the kill.
+
+This is the acceptance harness behind the sweep tentpole (the CI
+sweep-resume-smoke job runs it with a small ``--n``; 1000 for the
+acceptance run)::
+
+    PYTHONPATH=src python benchmarks/sweep_resume.py --n 1000 --seed 0 \
+        --kill-fraction 0.3 --state-dir sweep-state --report report.json
+
+Exit status 0 and a ``PASS`` line mean every assertion held; the JSON
+report carries the counters of both lives plus the kill accounting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+
+def launch(args, extra):
+    """Start ``repro sweep --conformance`` as a subprocess."""
+    cmd = [
+        sys.executable, "-m", "repro.cli", "sweep",
+        "--conformance", str(args.n),
+        "--seed", str(args.seed),
+        "--placement", args.placement,
+        "--state-dir", str(args.state_dir),
+        "--output", str(args.state_dir / "records.json"),
+        "--report", str(args.state_dir / "sweep-report.json"),
+    ] + extra
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    return subprocess.Popen(
+        cmd, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def journal_events(state_dir):
+    """(journal path, parsed events) for the single sweep journal."""
+    journals = sorted(Path(state_dir).glob("sweep-*.ndjson"))
+    if not journals:
+        return None, []
+    events = []
+    for line in journals[0].read_text(encoding="utf-8").splitlines():
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            pass  # torn final line: exactly what a SIGKILL may leave
+    return journals[0], events
+
+
+def terminal_keys(events):
+    done = set()
+    for event in events:
+        if event.get("event") in ("done", "failed"):
+            done.add(event["key"])
+    return done
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=200,
+                        help="conformance grid size (default: 200)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--placement", default="local",
+                        help="placement strategy (default: local)")
+    parser.add_argument("--kill-fraction", type=float, default=0.3,
+                        help="fraction of distinct units settled before "
+                        "SIGKILL (default: 0.3)")
+    parser.add_argument("--state-dir", type=Path, default=Path("sweep-state"))
+    parser.add_argument("--timeout", type=float, default=900.0,
+                        help="overall deadline per life in seconds")
+    parser.add_argument("--report", type=Path, default=None,
+                        help="write the JSON outcome report here")
+    args = parser.parse_args()
+    args.state_dir.mkdir(parents=True, exist_ok=True)
+
+    failures = []
+
+    def check(ok, message):
+        status = "ok" if ok else "FAIL"
+        print(f"[{status}] {message}")
+        if not ok:
+            failures.append(message)
+
+    # ------------------------------------------------------------------
+    # life 1: sweep until the kill threshold, then SIGKILL
+    # ------------------------------------------------------------------
+    print(f"life 1: sweeping n={args.n} (seed {args.seed}, "
+          f"placement {args.placement}), killing at "
+          f"{args.kill_fraction:.0%} of distinct units")
+    proc = launch(args, extra=[])
+    deadline = time.monotonic() + args.timeout
+    killed = False
+    distinct = None
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            break  # finished before the threshold (tiny grids)
+        _, events = journal_events(args.state_dir)
+        plan = next((e for e in events if e.get("event") == "plan"), None)
+        if plan is not None:
+            distinct = plan["distinct"]
+            if len(terminal_keys(events)) >= args.kill_fraction * distinct:
+                proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=30.0)
+                killed = True
+                break
+        time.sleep(0.05)
+    else:
+        proc.kill()
+        proc.wait(timeout=30.0)
+        print(f"error: life 1 still running after {args.timeout}s",
+              file=sys.stderr)
+        return 1
+
+    journal, events = journal_events(args.state_dir)
+    check(journal is not None, "life 1 wrote a sweep journal")
+    plan = next((e for e in events if e.get("event") == "plan"), None)
+    check(plan is not None, "journal opens with the plan event")
+    distinct = plan["distinct"] if plan else 0
+    settled_at_kill = terminal_keys(events)
+    if killed:
+        check(0 < len(settled_at_kill) < distinct,
+              f"SIGKILL landed mid-sweep ({len(settled_at_kill)}/{distinct} "
+              "units settled)")
+    else:
+        print(f"note: sweep finished before the kill threshold "
+              f"({len(settled_at_kill)}/{distinct} settled); resume must "
+              "then be 100% free")
+
+    # ------------------------------------------------------------------
+    # life 2: resume and finish
+    # ------------------------------------------------------------------
+    print(f"life 2: resuming ({len(settled_at_kill)} settled units on disk)")
+    proc = launch(args, extra=["--resume"])
+    try:
+        code = proc.wait(timeout=args.timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait(timeout=30.0)
+        print(f"error: resume still running after {args.timeout}s",
+              file=sys.stderr)
+        return 1
+    check(code == 0, f"resume exited 0 (got {code})")
+
+    records = json.loads((args.state_dir / "records.json").read_text())
+    report = json.loads((args.state_dir / "sweep-report.json").read_text())
+    counters = report["counters"]
+
+    check(len(records) == args.n,
+          f"one record per grid index ({len(records)}/{args.n})")
+    check([r["index"] for r in records] == list(range(args.n)),
+          "records in input order with unique indices")
+    errors = [r for r in records if "error" in r]
+    check(not errors, f"no error records ({len(errors)} found)")
+    check(counters["resumed"] == len(settled_at_kill),
+          f"every unit settled at the kill resumed for free "
+          f"({counters['resumed']} == {len(settled_at_kill)})")
+    check(
+        counters["executed"]
+        == counters["distinct"] - counters["resumed"] - counters["cache_hits"],
+        "zero re-execution: executed == distinct - resumed - cache_hits "
+        f"({counters['executed']} == {counters['distinct']} - "
+        f"{counters['resumed']} - {counters['cache_hits']})",
+    )
+    check(counters["distinct"] == distinct,
+          f"resume saw the same plan ({counters['distinct']} == {distinct})")
+
+    outcome = {
+        "n": args.n,
+        "seed": args.seed,
+        "placement": args.placement,
+        "kill_fraction": args.kill_fraction,
+        "killed": killed,
+        "distinct": distinct,
+        "settled_at_kill": len(settled_at_kill),
+        "resume_counters": counters,
+        "failures": failures,
+        "passed": not failures,
+    }
+    if args.report:
+        args.report.write_text(json.dumps(outcome, indent=2, sort_keys=True) + "\n",
+                               encoding="utf-8")
+        print(f"wrote report to {args.report}")
+    print("PASS" if not failures else f"FAIL ({len(failures)} assertion(s))")
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

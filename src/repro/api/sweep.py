@@ -1,53 +1,25 @@
-"""Grid runner: fan scenarios out over a process pool, collect records.
+"""Grid runner: the classic sweep surface over the sharded executor.
 
-``sweep`` is the building block for batching/sharding work on top of
-the declarative API: it takes any iterable of scenarios (values or
-plain dicts), executes them on one backend -- serially or across a
-``multiprocessing`` pool -- and returns one JSON-serializable record
-per scenario, in input order.  Failures are captured per scenario
-instead of aborting the whole grid.
+``sweep`` keeps its original contract -- any iterable of scenarios
+(values or plain dicts) in, one JSON-serializable record per scenario
+out, in input order, failures captured per item -- but the execution
+now rides :func:`repro.sweep.run_sweep`: the whole grid is validated
+up front, duplicate grid points are coalesced into one execution, and
+``processes > 1`` fans distinct units over the serve layer's
+non-daemonic worker pool instead of a ``concurrent.futures`` pool.
+Callers who want the full surface (resumable state dirs, cache hits,
+placement strategies, retry budgets) use :mod:`repro.sweep` directly.
 """
 
 from __future__ import annotations
 
-import traceback
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
-from repro.api.backends import Backend, SimulatedBackend, get_backend
+from repro.api.backends import Backend
 from repro.api.result import RunResult
 from repro.api.scenario import Scenario, scenario_matrix
 
 ScenarioLike = Union[Scenario, Mapping[str, Any]]
-
-
-def _as_scenario(spec: ScenarioLike) -> Scenario:
-    if isinstance(spec, Scenario):
-        return spec
-    return Scenario.from_dict(spec)
-
-
-def _run_job(job) -> Dict[str, Any]:
-    """Execute one (scenario dict, backend, flags) job into a record.
-
-    Module-level so it pickles under ``multiprocessing``; scenarios
-    travel as plain dicts, which also guarantees every sweep input is
-    serializable before any fork happens.
-    """
-    index, scenario_dict, backend, include_solution = job
-    record: Dict[str, Any] = {"index": index}
-    try:
-        scenario = Scenario.from_dict(scenario_dict)
-        result = backend.run(scenario)
-        record.update(result.to_record(include_solution=include_solution))
-    except Exception as exc:  # noqa: BLE001 - reported per record
-        record.update(
-            scenario=scenario_dict,
-            error=f"{type(exc).__name__}: {exc}",
-            traceback=traceback.format_exc(),
-        )
-    return record
 
 
 def sweep(
@@ -65,14 +37,14 @@ def sweep(
         form) -- e.g. the output of :func:`scenario_matrix`.
     backend:
         A backend instance, a registered backend name, or ``None`` for
-        :class:`SimulatedBackend`.  Must be picklable when
-        ``processes > 1`` (the built-in backends are).
+        :class:`~repro.api.backends.SimulatedBackend`.  Must be
+        picklable when ``processes > 1`` (the built-in backends are).
     processes:
-        Pool size; ``1`` runs in-process (easier debugging, identical
-        records -- the simulated backend is deterministic either way).
-        The process backend always sweeps in-process: pool workers are
-        daemonic and may not spawn the backend's per-rank children,
-        and the backend parallelises internally anyway.
+        Worker count; ``1`` runs in-process (easier debugging,
+        identical records -- the simulated backend is deterministic
+        either way).  The process backend always sweeps in-process:
+        it spawns one OS process per rank itself, so a serial sweep
+        already uses every core.
     include_solution:
         Store per-rank solution vectors in each record.
 
@@ -80,7 +52,9 @@ def sweep(
     -------
     One dict per scenario with the fields of
     :meth:`RunResult.to_record` plus ``index``; a failed scenario's
-    record carries ``error`` (and ``traceback``) instead.
+    record carries ``error`` (and usually ``traceback``) instead.
+    Identical grid points (same content hash and seed) execute once
+    and share the record.
 
     Example
     -------
@@ -93,98 +67,16 @@ def sweep(
         makespans = {r["index"]: r["makespan"] for r in records
                      if "error" not in r}
     """
-    if backend is None:
-        backend = SimulatedBackend()
-    elif isinstance(backend, str):
-        backend = get_backend(backend)
-    if getattr(backend, "name", None) == "process" and processes > 1:
-        # Pool workers are daemonic and may not spawn children, so the
-        # process backend cannot run inside a pool at all -- and it
-        # already parallelises internally (one OS process per rank), so
-        # a serial sweep still uses every core.  Route it in-process
-        # instead of failing every job.
-        processes = 1
-    jobs = []
-    records: Dict[int, Dict[str, Any]] = {}
-    total = 0
-    for index, spec in enumerate(scenarios):
-        total = index + 1
-        try:
-            jobs.append((index, _as_scenario(spec).to_dict(), backend, include_solution))
-        except Exception as exc:  # noqa: BLE001 - malformed spec: captured per record
-            records[index] = {
-                "index": index,
-                "scenario": dict(spec) if isinstance(spec, Mapping) else repr(spec),
-                "error": f"{type(exc).__name__}: {exc}",
-                "traceback": traceback.format_exc(),
-            }
-    if processes <= 1 or len(jobs) <= 1:
-        ran = [_run_job(job) for job in jobs]
-    else:
-        ran = _run_pool(jobs, processes=min(processes, len(jobs)))
-    for record in ran:
-        records[record["index"]] = record
-    return [records[index] for index in range(total)]
+    from repro.sweep import run_sweep
 
-
-def _error_record(job, exc: BaseException) -> Dict[str, Any]:
-    """The per-item sentinel for a job whose failure escaped ``_run_job``."""
-    index, scenario_dict, _, _ = job
-    return {
-        "index": index,
-        "scenario": scenario_dict,
-        "error": f"{type(exc).__name__}: {exc}",
-        "traceback": traceback.format_exc(),
-    }
-
-
-def _run_pool(jobs, processes: int) -> List[Dict[str, Any]]:
-    """Fan jobs over a process pool with *per-item* failure capture.
-
-    ``_run_job`` already catches in-job exceptions, but a grid point
-    can also kill its worker process outright (``os._exit`` in user
-    problem code, a segfaulting extension, the OOM killer).  A plain
-    ``pool.map`` would then raise away every record of the sweep --
-    and worse, a broken ``ProcessPoolExecutor`` terminates its
-    *other* workers too, so the culprit cannot be told apart from
-    innocent neighbours caught on the same dying executor.  Here each
-    job gets its own future, and every job the breakage swallowed is
-    retried once in its own isolated single-worker pool: bystanders
-    complete there, the poisonous grid point breaks only itself and
-    becomes exactly one error record.
-    """
-    records: Dict[int, Dict[str, Any]] = {}
-    swallowed: List[Any] = []
-    pool = ProcessPoolExecutor(max_workers=processes)
-    futures = []
-    for job in jobs:
-        try:
-            futures.append((job, pool.submit(_run_job, job)))
-        except BaseException:  # noqa: BLE001 - pool already broken
-            swallowed.append(job)
-    for job, future in futures:
-        try:
-            records[job[0]] = future.result()
-        except BrokenProcessPool:
-            swallowed.append(job)
-        except BaseException as exc:  # noqa: BLE001 - per-item sentinel
-            records[job[0]] = _error_record(job, exc)
-    try:
-        pool.shutdown(wait=False, cancel_futures=True)
-    except Exception:  # noqa: BLE001 - a broken pool may refuse shutdown
-        pass
-    for job in swallowed:
-        solo = ProcessPoolExecutor(max_workers=1)
-        try:
-            records[job[0]] = solo.submit(_run_job, job).result()
-        except BaseException as exc:  # noqa: BLE001 - the actual culprit
-            records[job[0]] = _error_record(job, exc)
-        finally:
-            try:
-                solo.shutdown(wait=False, cancel_futures=True)
-            except Exception:  # noqa: BLE001
-                pass
-    return [records[job[0]] for job in jobs]
+    outcome = run_sweep(
+        scenarios,
+        backend=backend,
+        placement="pool" if processes > 1 else "local",
+        processes=processes,
+        include_solution=include_solution,
+    )
+    return outcome.records
 
 
 def sweep_results(

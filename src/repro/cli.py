@@ -15,6 +15,17 @@ Installed as the ``repro`` command (see ``setup.py``); also runnable as
     :meth:`repro.api.Scenario.to_dict` form -- minimally just
     ``{"problem": "sparse_linear"}``.  See ``docs/scenarios.md``.
 
+``repro sweep (scenarios.json | --conformance N) [--placement
+local|pool|serve] [--processes N] [--state-dir DIR] [--resume]
+[--retries K] [--timeout T] [--output PATH] [--report PATH]``
+    Run a scenario grid through the sharded executor
+    (:mod:`repro.sweep`): the grid is validated up front, duplicate
+    points coalesce into one execution, and with ``--state-dir`` every
+    settled unit is journaled + cached so a killed sweep resumes with
+    ``--resume`` (completed units are free).  ``--conformance N``
+    sweeps the seeded conformance grid instead of a file.  See
+    ``docs/sweeping.md``.
+
 ``repro bench [--quick] [--filter SUBSTR] [--repeats K]
 [--output PATH] [--compare BASELINE.json] [--threshold X] [--list]``
     Run the curated benchmark suite (:mod:`repro.bench`) and emit a
@@ -82,21 +93,30 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _load_scenario_list(path: str):
+    """Read a scenario JSON file into a list of dicts, or ``None``
+    (with the error already printed) when the file is unusable."""
     try:
-        with open(args.scenarios, "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8") as handle:
             data = json.load(handle)
     except OSError as exc:
-        print(f"error: cannot read {args.scenarios}: {exc}", file=sys.stderr)
-        return 2
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return None
     except json.JSONDecodeError as exc:
-        print(f"error: {args.scenarios} is not valid JSON: {exc}", file=sys.stderr)
-        return 2
+        print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return None
     if isinstance(data, dict):
         data = [data]
     if not isinstance(data, list) or not all(isinstance(s, dict) for s in data):
         print("error: scenario file must hold a dict or a list of dicts",
               file=sys.stderr)
+        return None
+    return data
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    data = _load_scenario_list(args.scenarios)
+    if data is None:
         return 2
     try:
         records = sweep(
@@ -119,6 +139,97 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         print(payload)
     failures = [r for r in records if "error" in r]
+    for record in failures:
+        print(f"error in scenario {record['index']}: {record['error']}",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import SweepStateError, run_sweep
+
+    if (args.scenarios is None) == (args.conformance is None):
+        print("error: give a scenario file or --conformance N (not both)",
+              file=sys.stderr)
+        return 2
+    if args.retries < 0:
+        print(f"error: --retries must be >= 0, got {args.retries}", file=sys.stderr)
+        return 2
+    if args.resume and not args.state_dir:
+        print("error: --resume requires --state-dir", file=sys.stderr)
+        return 2
+    if args.conformance is not None:
+        if args.conformance < 1:
+            print(f"error: --conformance must be >= 1, got {args.conformance}",
+                  file=sys.stderr)
+            return 2
+        from repro.testing import generate_scenarios
+
+        data = [s.to_dict() for s in generate_scenarios(args.conformance, args.seed)]
+    else:
+        data = _load_scenario_list(args.scenarios)
+        if data is None:
+            return 2
+
+    def progress(event) -> None:
+        print(
+            f"[{event['completed']}/{event['distinct']}] "
+            f"{event['kind']:<6} ({event['source']}) {event['key'][:20]}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        outcome = run_sweep(
+            data,
+            backend=args.backend,
+            placement=args.placement,
+            processes=args.processes,
+            state_dir=args.state_dir,
+            resume=args.resume,
+            retries=args.retries,
+            timeout=args.timeout,
+            include_solution=args.include_solution,
+            host=args.host,
+            port=args.port,
+            priority=args.priority,
+            progress=progress,
+        )
+    except SweepStateError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (KeyError, ValueError) as exc:
+        # Unknown backend/placement name or an invalid option combo;
+        # the messages already name the offender and the alternatives.
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    payload = json.dumps(outcome.records, indent=2, default=str)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {len(outcome.records)} record(s) to {args.output}")
+    else:
+        print(payload)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "counters": outcome.counters,
+                    "fingerprint": outcome.fingerprint,
+                    "journal": None if outcome.journal_path is None
+                    else str(outcome.journal_path),
+                    "records": len(outcome.records),
+                    "errors": len(outcome.errors),
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"wrote sweep report to {args.report}")
+    print(f"sweep counters: {json.dumps(outcome.counters)}")
+    failures = outcome.errors
     for record in failures:
         print(f"error in scenario {record['index']}: {record['error']}",
               file=sys.stderr)
@@ -304,20 +415,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.serve import ServeClient, ServeError
     from repro.serve.protocol import DONE
 
-    try:
-        with open(args.scenarios, "r", encoding="utf-8") as handle:
-            data = json.load(handle)
-    except OSError as exc:
-        print(f"error: cannot read {args.scenarios}: {exc}", file=sys.stderr)
-        return 2
-    except json.JSONDecodeError as exc:
-        print(f"error: {args.scenarios} is not valid JSON: {exc}", file=sys.stderr)
-        return 2
-    if isinstance(data, dict):
-        data = [data]
-    if not isinstance(data, list) or not all(isinstance(s, dict) for s in data):
-        print("error: scenario file must hold a dict or a list of dicts",
-              file=sys.stderr)
+    data = _load_scenario_list(args.scenarios)
+    if data is None:
         return 2
     try:
         client = ServeClient(host=args.host, port=args.port)
@@ -415,6 +514,94 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write records to a file instead of stdout"
     )
     run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a scenario grid through the sharded, resumable sweep "
+        "executor",
+        description=(
+            "Run a scenario grid through the repro.sweep work-queue "
+            "executor: validate every item up front, coalesce duplicate "
+            "grid points into one execution, and pump distinct units "
+            "through a placement strategy (local, pool, serve). With "
+            "--state-dir every settled unit is journaled and its record "
+            "cached by content-hash + seed, so a killed sweep resumes "
+            "with --resume and completed units are never re-executed. "
+            "See docs/sweeping.md."
+        ),
+    )
+    sweep_parser.add_argument(
+        "scenarios", nargs="?", default=None,
+        help="path to a scenario JSON file (omit with --conformance)",
+    )
+    sweep_parser.add_argument(
+        "--conformance", type=int, default=None, metavar="N",
+        help="sweep N seeded conformance scenarios instead of a file",
+    )
+    sweep_parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="generator seed for --conformance (default: 0)",
+    )
+    sweep_parser.add_argument(
+        "--backend", default="simulated",
+        help="backend name (default: simulated; ignored by "
+        "--placement serve)",
+    )
+    sweep_parser.add_argument(
+        "--placement", default="local",
+        help="placement strategy: local, pool, serve, or a registered "
+        "custom name (default: local)",
+    )
+    sweep_parser.add_argument(
+        "--processes", type=int, default=1,
+        help="worker count for --placement pool (default: 1)",
+    )
+    sweep_parser.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="directory for the sweep journal and result cache; enables "
+        "--resume and incremental re-runs (default: in-memory only)",
+    )
+    sweep_parser.add_argument(
+        "--resume", action="store_true",
+        help="replay this grid's journal from --state-dir; settled units "
+        "are free",
+    )
+    sweep_parser.add_argument(
+        "--retries", type=int, default=1, metavar="K",
+        help="transient-failure budget per unit (timeouts, worker "
+        "crashes; default: 1)",
+    )
+    sweep_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="T",
+        help="per-attempt deadline in seconds (default: none)",
+    )
+    sweep_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="daemon address for --placement serve (default: 127.0.0.1)",
+    )
+    sweep_parser.add_argument(
+        "--port", type=int, default=7341,
+        help="daemon port for --placement serve (default: 7341)",
+    )
+    sweep_parser.add_argument(
+        "--priority", type=int, default=0,
+        help="queue priority for --placement serve submissions "
+        "(default: 0)",
+    )
+    sweep_parser.add_argument(
+        "--include-solution", action="store_true",
+        help="store per-rank solution vectors in the records "
+        "(local/pool placements only)",
+    )
+    sweep_parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write records to a file instead of stdout",
+    )
+    sweep_parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the counters/fingerprint summary JSON here",
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
 
     bench_parser = subparsers.add_parser(
         "bench",

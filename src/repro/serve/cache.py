@@ -94,6 +94,38 @@ class ResultCache:
         self.hits += 1
         return record
 
+    def get_checked(
+        self,
+        key: str,
+        require_solution: bool = False,
+        backend: Optional[str] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Like :meth:`get`, but a hit must also *satisfy the caller*.
+
+        The sweep executor shares this cache with the serve daemon, so
+        an entry under the right key can still be unusable for a given
+        sweep: written without per-rank solutions when the caller wants
+        ``include_solution``, or produced by a different backend than
+        the one being swept.  Such an entry is reported as a miss --
+        left in place, not evicted, because it is still a perfectly
+        good answer for the consumer that wrote it; the caller simply
+        re-executes and overwrites.
+        """
+        record = self.get(key)
+        if record is None:
+            return None
+        if require_solution and not all(
+            "solution" in rep for rep in record.get("reports", [])
+        ):
+            self.hits -= 1
+            self.misses += 1
+            return None
+        if backend is not None and record.get("backend") not in (None, backend):
+            self.hits -= 1
+            self.misses += 1
+            return None
+        return record
+
     def put(self, key: str, record: Dict[str, Any]) -> Path:
         """Store a record atomically; last writer wins."""
         path = self.path_for(key)

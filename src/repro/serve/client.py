@@ -56,6 +56,31 @@ class ServeClient:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rb")
 
+    @classmethod
+    def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 7341,
+        timeout: float = 30.0,
+        retry_for: float = 0.0,
+        poll: float = 0.1,
+    ) -> "ServeClient":
+        """Connect, optionally retrying for ``retry_for`` seconds.
+
+        The constructor fails fast on a connection refusal; callers
+        that race a daemon's startup (the CLI's ``--placement serve``
+        sweeps, test harnesses that just forked ``repro serve``) pass
+        a small ``retry_for`` window instead of hand-rolling the loop.
+        """
+        deadline = time.monotonic() + retry_for
+        while True:
+            try:
+                return cls(host=host, port=port, timeout=timeout)
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll)
+
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------

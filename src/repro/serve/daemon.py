@@ -57,14 +57,7 @@ from repro.serve.protocol import (
     parse_request,
 )
 from repro.serve.queue import Job, JobQueue, Journal, replay_events
-from repro.serve.workers import WorkerPool
-
-#: Error prefixes that mean "the attempt timed out" and deserve a retry.
-_TIMEOUT_PREFIXES = (
-    "BackendTimeoutError",
-    "ThreadTimeoutError",
-    "ProcessTimeoutError",
-)
+from repro.serve.workers import WorkerPool, is_timeout_error
 
 
 class Scheduler:
@@ -291,9 +284,7 @@ class Scheduler:
             self.counters["completed"] += 1
         elif kind == "failed":
             error = str(payload)
-            self._attempt_failed(
-                job_id, error, timed_out=error.startswith(_TIMEOUT_PREFIXES)
-            )
+            self._attempt_failed(job_id, error, timed_out=is_timeout_error(error))
         elif kind == "crashed":
             self._attempt_failed(job_id, f"worker crashed: {payload}", timed_out=True)
 

@@ -15,10 +15,12 @@ spawn-safety rule as :mod:`repro.runtime.process_hub`.  Workers are
 *not* daemonic: the ``process`` backend spawns one child per rank,
 which daemonic processes may not do.
 
-Timeout policy lives in the caller (the scheduler decides retry vs.
-fail and reuses :class:`~repro.runtime.executor.BackendTimeoutError`
-naming); this module only enforces deadlines mechanically via
-:meth:`WorkerPool.reap_expired`.
+Timeout policy lives in the caller (the scheduler and the sweep
+executor decide retry vs. fail); this module only enforces deadlines
+mechanically via :meth:`WorkerPool.reap_expired` and exports the
+shared :func:`is_timeout_error` classifier both callers use to
+recognise a :class:`~repro.runtime.executor.BackendTimeoutError`
+family error that crossed a process boundary as a string.
 """
 
 from __future__ import annotations
@@ -26,22 +28,45 @@ from __future__ import annotations
 import multiprocessing
 import queue as queue_module
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+#: Error-string prefixes that mean "the attempt timed out" (the
+#: BackendTimeoutError family, flattened to ``f"{type}: {message}"``
+#: by whatever process boundary the error crossed) and deserve a
+#: retry rather than a permanent failure.
+TIMEOUT_ERROR_PREFIXES = (
+    "BackendTimeoutError",
+    "ThreadTimeoutError",
+    "ProcessTimeoutError",
+)
+
+
+def is_timeout_error(error: str) -> bool:
+    """True when a stringified per-job error is a backend timeout.
+
+    Shared vocabulary between the serve scheduler and the sweep
+    executor: timeouts (and worker crashes) are transient and retried
+    with a bounded budget; every other error is deterministic and
+    fails the job immediately.
+    """
+    return str(error).startswith(TIMEOUT_ERROR_PREFIXES)
 
 
 def _worker_main(
     worker_id: int,
     task_queue: Any,
     done_queue: Any,
-    backend_name: str,
+    backend: Union[str, Any],
     backend_kwargs: Dict[str, Any],
+    include_solution: bool = False,
 ) -> None:
     """Run jobs forever: ``(job_id, scenario_dict)`` in, events out."""
     import repro.api  # noqa: F401 - repopulates registries under spawn
     from repro.api.backends import get_backend
     from repro.api.scenario import Scenario
 
-    backend = get_backend(backend_name, **backend_kwargs)
+    if isinstance(backend, str):
+        backend = get_backend(backend, **backend_kwargs)
     while True:
         item = task_queue.get()
         if item is None:
@@ -49,7 +74,7 @@ def _worker_main(
         job_id, scenario_dict = item
         try:
             result = backend.run(Scenario.from_dict(scenario_dict))
-            record = result.to_record()
+            record = result.to_record(include_solution=include_solution)
             done_queue.put((worker_id, job_id, "done", record))
         except BaseException as exc:  # noqa: BLE001 - reported per job
             try:
@@ -63,12 +88,16 @@ def _worker_main(
 class _Worker:
     """One live worker process plus its current assignment."""
 
-    def __init__(self, worker_id: int, ctx, done_queue, backend_name, backend_kwargs):
+    def __init__(
+        self, worker_id: int, ctx, done_queue, backend, backend_kwargs,
+        include_solution: bool = False,
+    ):
         self.id = worker_id
         self.task_queue = ctx.Queue()
         self.process = ctx.Process(
             target=_worker_main,
-            args=(worker_id, self.task_queue, done_queue, backend_name, backend_kwargs),
+            args=(worker_id, self.task_queue, done_queue, backend,
+                  backend_kwargs, include_solution),
             name=f"repro-serve-worker-{worker_id}",
             daemon=False,
         )
@@ -80,9 +109,11 @@ class _Worker:
     def busy(self) -> bool:
         return self.job_id is not None
 
-    def assign(self, job_id: str, scenario: Dict[str, Any], timeout: float) -> None:
+    def assign(
+        self, job_id: str, scenario: Dict[str, Any], timeout: Optional[float]
+    ) -> None:
         self.job_id = job_id
-        self.deadline = time.monotonic() + timeout
+        self.deadline = None if timeout is None else time.monotonic() + timeout
         self.task_queue.put((job_id, scenario))
 
     def release(self) -> None:
@@ -125,19 +156,23 @@ class WorkerPool:
 
     def __init__(
         self,
-        backend: str = "simulated",
+        backend: Union[str, Any] = "simulated",
         size: int = 2,
-        job_timeout: float = 60.0,
+        job_timeout: Optional[float] = 60.0,
         backend_kwargs: Optional[Dict[str, Any]] = None,
         start_method: Optional[str] = None,
+        include_solution: bool = False,
     ) -> None:
         if size < 1:
             raise ValueError(f"worker pool size must be >= 1, got {size}")
-        if job_timeout <= 0:
-            raise ValueError(f"job_timeout must be > 0, got {job_timeout}")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError(f"job_timeout must be > 0 or None, got {job_timeout}")
+        # A registered backend name, or any picklable Backend instance
+        # (the sweep executor ships ad-hoc instances into the pool).
         self.backend = backend
         self.size = size
         self.job_timeout = job_timeout
+        self.include_solution = include_solution
         self._backend_kwargs = dict(backend_kwargs or {})
         self._ctx = multiprocessing.get_context(start_method)
         self._done = self._ctx.Queue()
@@ -158,6 +193,7 @@ class WorkerPool:
             self._done,
             self.backend,
             self._backend_kwargs,
+            self.include_solution,
         )
         self._workers[worker.id] = worker
         self._next_worker_id += 1
@@ -266,13 +302,16 @@ class WorkerPool:
         return False
 
     def stats(self) -> Dict[str, Any]:
+        backend = self.backend
+        if not isinstance(backend, str):
+            backend = getattr(backend, "name", type(backend).__name__)
         return {
             "workers": len(self._workers),
             "busy": len(self._workers) - self.idle_count,
             "respawns": self._respawns,
-            "backend": self.backend,
+            "backend": backend,
             "job_timeout": self.job_timeout,
         }
 
 
-__all__ = ["WorkerPool"]
+__all__ = ["WorkerPool", "TIMEOUT_ERROR_PREFIXES", "is_timeout_error"]

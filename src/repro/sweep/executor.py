@@ -1,0 +1,419 @@
+"""The sharded sweep executor: validate, coalesce, pump, settle.
+
+:func:`run_sweep` turns an iterable of scenarios into one record per
+input index through a placement-agnostic work queue:
+
+1. **Validate** the whole grid up front.  Every item must rebuild into
+   a :class:`~repro.api.Scenario` whose registry strings (problem,
+   cluster, environment, worker) resolve; every invalid item becomes
+   an error record *before any work starts*, so a ten-hour sweep never
+   dies at item 9000 on a typo that was visible at item 0.
+2. **Coalesce** the valid items by cache key (``content_hash + seed``,
+   :meth:`~repro.serve.cache.ResultCache.key_for`): duplicate grid
+   points execute once and fan their record out to every requesting
+   index (each record keeps its own index's ``scenario`` dict, so
+   labels stay honest).
+3. **Pre-settle** against durable state when a ``state_dir`` is given:
+   journaled failures keep their error, journaled completions and
+   fresh cache hits are served from the
+   :class:`~repro.serve.cache.ResultCache` for free -- re-running a
+   finished grid costs nothing, resuming a killed one costs only the
+   units that had not settled.
+4. **Pump** the remainder through the chosen placement
+   (:mod:`repro.sweep.placement`): fill capacity, poll settlements,
+   retry transient ones (timeout, worker crash) within a bounded
+   per-unit budget, journal every terminal transition.
+
+The executor is crash-consistent by construction: a unit's record is
+cached *then* journaled *then* reported, so ``run_sweep(...,
+resume=True)`` after a SIGKILL re-executes at most the units that were
+in flight -- never a completed one.
+"""
+
+from __future__ import annotations
+
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.api.backends import Backend, SimulatedBackend
+from repro.api.scenario import Scenario
+from repro.serve.cache import ResultCache
+from repro.sweep.placement import (
+    PlacementContext,
+    RETRYABLE_KINDS,
+    get_placement,
+)
+from repro.sweep.state import SweepState, plan_fingerprint
+
+ScenarioLike = Union[Scenario, Mapping[str, Any]]
+
+#: How a settled unit got its terminal state; surfaced per progress
+#: event and tallied in :attr:`SweepOutcome.counters`.
+SOURCE_EXECUTED = "executed"
+SOURCE_CACHE = "cache"
+SOURCE_RESUMED = "resumed"
+
+
+@dataclass
+class SweepUnit:
+    """One distinct piece of work: a cache key and its grid indices."""
+
+    key: str
+    scenario: Dict[str, Any]
+    indices: List[int] = field(default_factory=list)
+    attempts: int = 0
+
+
+@dataclass
+class SweepOutcome:
+    """What a sweep produced, beyond the records themselves.
+
+    ``records`` is one dict per input index, in input order, in the
+    classic :func:`repro.api.sweep` vocabulary (``index`` plus either
+    :meth:`~repro.api.RunResult.to_record` fields or ``error`` /
+    ``traceback``).  ``counters`` accounts for every distinct unit:
+    ``executed + cache_hits + resumed + failed`` covers them all, with
+    ``repaired`` counting journaled completions whose cache entry had
+    rotted and had to re-execute, and ``retries`` the transient
+    re-submissions along the way.
+    """
+
+    records: List[Dict[str, Any]]
+    counters: Dict[str, int]
+    fingerprint: str
+    journal_path: Optional[Path] = None
+    state_dir: Optional[Path] = None
+
+    @property
+    def errors(self) -> List[Dict[str, Any]]:
+        """The records that settled as errors (invalid or failed)."""
+        return [record for record in self.records if "error" in record]
+
+
+def _as_scenario(spec: ScenarioLike) -> Scenario:
+    if isinstance(spec, Scenario):
+        return spec
+    return Scenario.from_dict(spec)
+
+
+def _validate_registries(scenario: Scenario) -> None:
+    """Resolve every registry string; raises with the bad name inside.
+
+    Worker names are already checked by ``Scenario.__post_init__``;
+    problems and environments resolve through their registries (cheap
+    lookups), clusters by membership (building one is not).
+    """
+    from repro.api.registry import (
+        get_environment,
+        get_problem_factory,
+        list_clusters,
+    )
+
+    get_problem_factory(scenario.problem)
+    get_environment(scenario.environment)
+    if scenario.cluster not in list_clusters():
+        raise KeyError(
+            f"unknown cluster {scenario.cluster!r}; known: {list_clusters()}"
+        )
+
+
+def _error_payload(payload: Any) -> Dict[str, str]:
+    """Normalise a placement failure payload to ``error``/``traceback``."""
+    if isinstance(payload, Mapping):
+        out = {"error": str(payload.get("error", "unknown failure"))}
+        if payload.get("traceback"):
+            out["traceback"] = str(payload["traceback"])
+        return out
+    return {"error": str(payload)}
+
+
+def run_sweep(
+    scenarios: Iterable[ScenarioLike],
+    backend: Union[Backend, str, None] = None,
+    placement: str = "local",
+    processes: int = 1,
+    state_dir: Union[str, Path, None] = None,
+    resume: bool = False,
+    retries: int = 1,
+    timeout: Optional[float] = None,
+    include_solution: bool = False,
+    host: str = "127.0.0.1",
+    port: int = 7341,
+    priority: int = 0,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> SweepOutcome:
+    """Run a grid of scenarios through a placement-aware work queue.
+
+    Parameters
+    ----------
+    scenarios:
+        :class:`Scenario` values or plain dicts, e.g. from
+        :func:`~repro.api.scenario.scenario_matrix`.
+    backend:
+        Instance, registered name, or ``None`` for
+        :class:`SimulatedBackend`.  Instances must be picklable for the
+        ``pool`` placement; the ``serve`` placement ignores this (the
+        daemon runs its own backend).
+    placement:
+        ``"local"`` (in-process, daemonic-safe), ``"pool"`` (process
+        per shard), ``"serve"`` (submit to a running daemon), or any
+        name added via
+        :func:`~repro.sweep.placement.register_placement`.
+    processes:
+        Worker count for ``pool`` / in-flight sizing hint for
+        ``serve``; ignored by ``local``.
+    state_dir:
+        Directory for the result cache and per-grid journal; ``None``
+        sweeps purely in memory (no resumability, no cache).
+    resume:
+        Replay this grid's journal from ``state_dir`` instead of
+        rotating it aside; previously settled units are free.
+    retries:
+        Transient-failure budget *per unit* (timeouts, worker
+        crashes); deterministic errors never retry.
+    timeout:
+        Per-attempt deadline in seconds (``None``: no deadline).
+        Enforced by worker reaping under ``pool``; forwarded to
+        deadline-capable backends under ``local``.
+    include_solution:
+        Keep per-rank solution vectors in records.  Incompatible with
+        the ``serve`` placement (the daemon strips solutions).
+    host / port / priority:
+        ``serve`` placement only: where the daemon listens and the
+        queue priority of this sweep's submissions.
+    progress:
+        Optional callback invoked after each settlement with a dict
+        (``key``, ``kind``, ``source``, ``completed``, ``distinct``).
+        Called *after* the settlement is durable, so a callback that
+        raises (or a process killed inside one) never loses settled
+        work.
+
+    Returns
+    -------
+    :class:`SweepOutcome` -- records in input order plus the
+    accounting counters, plan fingerprint and journal location.
+    """
+    if backend is None:
+        backend = SimulatedBackend()
+    backend_name = backend if isinstance(backend, str) else getattr(backend, "name", None)
+    placement_cls = get_placement(placement)  # fail fast on unknown names
+    if placement == "serve" and include_solution:
+        raise ValueError(
+            "include_solution is not available with the 'serve' placement: "
+            "the daemon caches records without per-rank solutions; "
+            "use the 'local' or 'pool' placement instead"
+        )
+    if placement == "pool" and backend_name == "process":
+        # The process backend spawns one child per rank and already
+        # parallelises internally; hosting it inside pool workers would
+        # nest process trees for no throughput gain.  Same reroute the
+        # classic sweep() applied.
+        placement, placement_cls = "local", get_placement("local")
+
+    counters = {
+        "items": 0,
+        "invalid": 0,
+        "distinct": 0,
+        "coalesced": 0,
+        "executed": 0,
+        "cache_hits": 0,
+        "resumed": 0,
+        "repaired": 0,
+        "retries": 0,
+        "failed": 0,
+    }
+
+    # ------------------------------------------------------------------
+    # 1. validate everything, 2. coalesce duplicates into units
+    # ------------------------------------------------------------------
+    invalid: Dict[int, Dict[str, Any]] = {}
+    index_keys: Dict[int, str] = {}
+    index_scenarios: Dict[int, Dict[str, Any]] = {}
+    units: Dict[str, SweepUnit] = {}
+    for index, spec in enumerate(scenarios):
+        counters["items"] = index + 1
+        try:
+            scenario = _as_scenario(spec)
+            _validate_registries(scenario)
+        except Exception as exc:  # noqa: BLE001 - per-item error record
+            counters["invalid"] += 1
+            invalid[index] = {
+                "index": index,
+                "scenario": dict(spec) if isinstance(spec, Mapping) else repr(spec),
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            }
+            continue
+        key = ResultCache.key_for(scenario)
+        index_keys[index] = key
+        index_scenarios[index] = scenario.to_dict()
+        unit = units.get(key)
+        if unit is None:
+            units[key] = unit = SweepUnit(key=key, scenario=scenario.to_dict())
+        else:
+            counters["coalesced"] += 1
+        unit.indices.append(index)
+    counters["distinct"] = len(units)
+
+    fingerprint = plan_fingerprint(units.keys())
+    state = (
+        SweepState(
+            state_dir,
+            fingerprint,
+            items=counters["items"],
+            distinct=counters["distinct"],
+            resume=resume,
+        )
+        if state_dir is not None
+        else None
+    )
+
+    # key -> ("done", record) | ("failed", {"error", "traceback"?})
+    settled: Dict[str, Any] = {}
+
+    def notify(key: str, kind: str, source: str) -> None:
+        if progress is not None:
+            progress(
+                {
+                    "key": key,
+                    "kind": kind,
+                    "source": source,
+                    "completed": len(settled),
+                    "distinct": counters["distinct"],
+                }
+            )
+
+    def settle_done(unit: SweepUnit, record: Dict[str, Any], source: str) -> None:
+        if source == SOURCE_EXECUTED and state is not None:
+            state.cache.put(unit.key, record)
+            state.record_done(unit.key)
+        settled[unit.key] = ("done", record)
+        notify(unit.key, "done", source)
+
+    def settle_failed(unit: SweepUnit, payload: Any, source: str) -> None:
+        info = _error_payload(payload)
+        counters["failed"] += 1
+        if source == SOURCE_EXECUTED and state is not None:
+            state.record_failed(unit.key, info["error"])
+        settled[unit.key] = ("failed", info)
+        notify(unit.key, "failed", source)
+
+    # ------------------------------------------------------------------
+    # 3. pre-settle from journal + cache
+    # ------------------------------------------------------------------
+    pending: List[SweepUnit] = []
+    try:
+        journaled_done = set(state.done) if state is not None else set()
+        for unit in units.values():
+            if state is None:
+                pending.append(unit)
+                continue
+            if unit.key in state.failed:
+                counters["resumed"] += 1
+                settle_failed(unit, state.failed[unit.key], SOURCE_RESUMED)
+                continue
+            record = state.cache.get_checked(
+                unit.key,
+                require_solution=include_solution,
+                backend=backend_name,
+            )
+            if record is not None:
+                if unit.key in journaled_done:
+                    counters["resumed"] += 1
+                    settle_done(unit, record, SOURCE_RESUMED)
+                else:
+                    counters["cache_hits"] += 1
+                    state.record_done(unit.key)
+                    settle_done(unit, record, SOURCE_CACHE)
+                continue
+            if unit.key in journaled_done:
+                # Journaled done but the cache entry rotted (evicted,
+                # corrupted, or written without what we need now):
+                # re-execute rather than trust the journal blindly.
+                counters["repaired"] += 1
+            pending.append(unit)
+
+        # --------------------------------------------------------------
+        # 4. pump the remainder through the placement
+        # --------------------------------------------------------------
+        if placement == "pool" and len(pending) <= 1:
+            placement, placement_cls = "local", get_placement("local")
+        if pending:
+            context = PlacementContext(
+                backend=backend,
+                size=max(1, processes),
+                timeout=timeout,
+                include_solution=include_solution,
+                host=host,
+                port=port,
+                priority=priority,
+                connect_retry_for=2.0,
+            )
+            strategy = placement_cls(context)
+            strategy.start()
+            try:
+                queue = deque(pending)
+                inflight: Dict[str, SweepUnit] = {}
+                while queue or inflight:
+                    while queue and strategy.capacity > 0:
+                        unit = queue.popleft()
+                        unit.attempts += 1
+                        inflight[unit.key] = unit
+                        strategy.submit(unit.key, unit.scenario)
+                    for key, kind, payload in strategy.poll(timeout=0.05):
+                        unit = inflight.pop(key, None)
+                        if unit is None:
+                            continue  # stale event for a settled unit
+                        if kind == "done":
+                            counters["executed"] += 1
+                            settle_done(unit, payload, SOURCE_EXECUTED)
+                        elif kind in RETRYABLE_KINDS and unit.attempts <= retries:
+                            counters["retries"] += 1
+                            queue.append(unit)
+                        else:
+                            settle_failed(unit, payload, SOURCE_EXECUTED)
+            finally:
+                strategy.shutdown()
+    finally:
+        if state is not None:
+            state.close()
+
+    # ------------------------------------------------------------------
+    # 5. fan settlements back out to input indices
+    # ------------------------------------------------------------------
+    records: List[Dict[str, Any]] = []
+    for index in range(counters["items"]):
+        if index in invalid:
+            records.append(invalid[index])
+            continue
+        kind, payload = settled[index_keys[index]]
+        if kind == "done":
+            record = dict(payload)
+            record["index"] = index
+            # Coalesced twins share one execution but keep their own
+            # scenario dict, so per-index labels stay honest.
+            record["scenario"] = index_scenarios[index]
+            records.append(record)
+        else:
+            record = {
+                "index": index,
+                "scenario": index_scenarios[index],
+                "error": payload["error"],
+            }
+            if "traceback" in payload:
+                record["traceback"] = payload["traceback"]
+            records.append(record)
+
+    return SweepOutcome(
+        records=records,
+        counters=counters,
+        fingerprint=fingerprint,
+        journal_path=state.journal_path if state is not None else None,
+        state_dir=Path(state_dir) if state_dir is not None else None,
+    )
+
+
+__all__ = ["run_sweep", "SweepOutcome", "SweepUnit"]

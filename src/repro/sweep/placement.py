@@ -1,0 +1,347 @@
+"""Pluggable placement strategies for the sweep executor.
+
+A *placement* decides where a sweep unit's scenario actually runs.
+Every strategy speaks one small asynchronous surface -- offer capacity,
+accept submissions, report settlements -- so the executor's work-queue
+loop (:mod:`repro.sweep.executor`) is placement-agnostic:
+
+* ``local`` -- in-process, one unit at a time.  The daemonic-safe
+  path: it works inside pytest workers, other pools, and is the only
+  placement that can host the ``process`` backend (whose per-rank
+  children may not be spawned from a daemonic pool worker).
+* ``pool`` -- one OS process per worker slot via the serve layer's
+  non-daemonic :class:`~repro.serve.workers.WorkerPool`, with per-unit
+  deadline reaping (kill + respawn) in the parent.
+* ``serve`` -- the remote stub: units are submitted to a running
+  ``repro serve`` daemon through :class:`~repro.serve.client.
+  ServeClient`, reusing the scheduler's priority queue, duplicate
+  coalescing, content-hash cache and bounded retry wholesale.
+
+Custom strategies register with :func:`register_placement` and are
+addressable by name from :func:`repro.sweep.run_sweep` and
+``repro sweep --placement`` (see ``docs/sweeping.md``).
+
+Event vocabulary (``poll`` return rows, ``(key, kind, payload)``):
+``done`` carries the run record; ``failed`` a deterministic error
+(string, or ``{"error", "traceback"}``); ``timeout`` and ``crashed``
+are transient -- the executor retries them within its per-unit budget.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Type, Union
+
+from repro.runtime.executor import BackendTimeoutError
+from repro.serve.workers import WorkerPool, is_timeout_error
+
+#: One settlement: ``(unit key, kind, payload)`` where kind is one of
+#: ``done`` / ``failed`` / ``timeout`` / ``crashed``.
+PlacementEvent = Tuple[str, str, Any]
+
+#: Event kinds the executor treats as transient (retry budget applies).
+RETRYABLE_KINDS = ("timeout", "crashed")
+
+
+@dataclass
+class PlacementContext:
+    """Everything a placement may need to set itself up.
+
+    ``backend`` is a registered backend name or a picklable backend
+    instance (ignored by the ``serve`` placement, whose daemon runs its
+    own configured backend).  ``timeout`` is the per-attempt deadline
+    (``None`` = no deadline beyond what the backend itself enforces).
+    """
+
+    backend: Union[str, Any] = "simulated"
+    size: int = 1
+    timeout: Optional[float] = None
+    include_solution: bool = False
+    start_method: Optional[str] = None
+    host: str = "127.0.0.1"
+    port: int = 7341
+    priority: int = 0
+    connect_retry_for: float = 0.0
+
+
+class Placement:
+    """Base class: buffered events plus the executor-facing surface."""
+
+    name = "base"
+
+    def __init__(self, context: PlacementContext) -> None:
+        self.context = context
+        self._events: List[PlacementEvent] = []
+
+    def start(self) -> None:
+        """Acquire resources (processes, connections); called once."""
+
+    @property
+    def capacity(self) -> int:
+        """How many more units may be submitted right now."""
+        raise NotImplementedError
+
+    def submit(self, key: str, scenario_dict: Dict[str, Any]) -> None:
+        """Accept one unit; settlement arrives via :meth:`poll`."""
+        raise NotImplementedError
+
+    def poll(self, timeout: float = 0.05) -> List[PlacementEvent]:
+        """Settlements since the last poll (may block up to ``timeout``)."""
+        events, self._events = self._events, []
+        return events
+
+    def shutdown(self) -> None:
+        """Release resources; in-flight units may be abandoned."""
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+PLACEMENT_REGISTRY: Dict[str, Type[Placement]] = {}
+
+
+def register_placement(name: str):
+    """Class decorator registering a placement strategy under a name::
+
+        @register_placement("my_grid")
+        class MyGridPlacement(Placement): ...
+    """
+
+    def decorate(cls: Type[Placement]) -> Type[Placement]:
+        cls.name = name
+        PLACEMENT_REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def get_placement(name: str) -> Type[Placement]:
+    """The placement class registered under ``name`` (KeyError names
+    the known strategies)."""
+    try:
+        return PLACEMENT_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown placement {name!r}; known: {list_placements()}"
+        ) from None
+
+
+def list_placements() -> List[str]:
+    """Sorted names of all registered placement strategies."""
+    return sorted(PLACEMENT_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@register_placement("local")
+class LocalPlacement(Placement):
+    """Run units in-process, serially, one settlement per pump turn.
+
+    Capacity is deliberately 0 while a settlement is unreported so the
+    executor journals each unit before the next one starts -- a killed
+    sweep loses at most the unit that was computing.  Deadlines are
+    whatever the backend itself enforces: a ``timeout`` in the context
+    is forwarded to name-resolved backends that accept one (threaded /
+    process); the simulated backend is deterministic and needs none.
+    """
+
+    def __init__(self, context: PlacementContext) -> None:
+        super().__init__(context)
+        self._backend: Any = None
+
+    def start(self) -> None:
+        backend = self.context.backend
+        if isinstance(backend, str):
+            from repro.api.backends import get_backend
+
+            kwargs: Dict[str, Any] = {}
+            if self.context.timeout is not None:
+                factory = type(get_backend(backend))
+                try:
+                    params = inspect.signature(factory).parameters
+                except (TypeError, ValueError):
+                    params = {}
+                if "timeout" in params:
+                    kwargs["timeout"] = self.context.timeout
+            backend = get_backend(backend, **kwargs)
+        self._backend = backend
+
+    @property
+    def capacity(self) -> int:
+        return 0 if self._events else 1
+
+    def submit(self, key: str, scenario_dict: Dict[str, Any]) -> None:
+        from repro.api.scenario import Scenario
+
+        try:
+            result = self._backend.run(Scenario.from_dict(scenario_dict))
+            record = result.to_record(
+                include_solution=self.context.include_solution
+            )
+            self._events.append((key, "done", record))
+        except BackendTimeoutError as exc:
+            self._events.append(
+                (key, "timeout", f"{type(exc).__name__}: {exc}")
+            )
+        except Exception as exc:  # noqa: BLE001 - settled per unit
+            self._events.append(
+                (
+                    key,
+                    "failed",
+                    {
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "traceback": traceback.format_exc(),
+                    },
+                )
+            )
+
+
+@register_placement("pool")
+class PoolPlacement(Placement):
+    """One shard per worker process via the serve-layer WorkerPool.
+
+    The pool is non-daemonic and parent-controlled: an expired unit's
+    worker is killed and respawned (the unit comes back as a
+    ``timeout`` event), a worker that dies mid-unit (segfault, OOM
+    kill, ``os._exit`` in problem code) surfaces as ``crashed`` --
+    both transient kinds the executor retries with its bounded budget.
+    """
+
+    def __init__(self, context: PlacementContext) -> None:
+        super().__init__(context)
+        self._pool: Optional[WorkerPool] = None
+
+    def start(self) -> None:
+        self._pool = WorkerPool(
+            backend=self.context.backend,
+            size=max(1, self.context.size),
+            job_timeout=self.context.timeout,
+            start_method=self.context.start_method,
+            include_solution=self.context.include_solution,
+        )
+
+    @property
+    def capacity(self) -> int:
+        return self._pool.idle_count
+
+    def submit(self, key: str, scenario_dict: Dict[str, Any]) -> None:
+        self._pool.dispatch(key, scenario_dict)
+
+    def poll(self, timeout: float = 0.05) -> List[PlacementEvent]:
+        events = super().poll(timeout)
+        for key, kind, payload in self._pool.poll(timeout=timeout):
+            if kind == "done":
+                events.append((key, "done", payload))
+            elif kind == "crashed":
+                events.append((key, "crashed", f"worker crashed: {payload}"))
+            elif is_timeout_error(payload):
+                events.append((key, "timeout", str(payload)))
+            else:
+                events.append((key, "failed", str(payload)))
+        for key in self._pool.reap_expired():
+            events.append(
+                (
+                    key,
+                    "timeout",
+                    f"{BackendTimeoutError.__name__}: unit exceeded the "
+                    f"{self.context.timeout}s per-attempt deadline",
+                )
+            )
+        return events
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+
+
+@register_placement("serve")
+class ServePlacement(Placement):
+    """The remote stub: shards ride a running ``repro serve`` daemon.
+
+    Submissions reuse the scheduler's machinery wholesale -- priority
+    queue, duplicate coalescing onto in-flight twins, content-hash
+    result cache, per-job deadline + bounded retry -- so this placement
+    is a thin polling loop over :class:`~repro.serve.client.ServeClient`.
+    The context's ``backend``/``timeout`` do not travel: the daemon
+    runs whatever backend and deadlines it was started with.
+    """
+
+    #: In-flight submissions kept per worker-slot hint; the daemon
+    #: queues beyond its pool anyway, this just bounds polling cost.
+    INFLIGHT_PER_SLOT = 8
+
+    def __init__(self, context: PlacementContext) -> None:
+        super().__init__(context)
+        self._client: Any = None
+        self._jobs: Dict[str, str] = {}  # unit key -> daemon job id
+
+    def start(self) -> None:
+        from repro.serve.client import ServeClient
+
+        self._client = ServeClient.connect(
+            host=self.context.host,
+            port=self.context.port,
+            retry_for=self.context.connect_retry_for,
+        )
+
+    @property
+    def capacity(self) -> int:
+        limit = max(1, self.context.size) * self.INFLIGHT_PER_SLOT
+        return max(0, limit - len(self._jobs))
+
+    def submit(self, key: str, scenario_dict: Dict[str, Any]) -> None:
+        from repro.serve.client import ServeError
+
+        try:
+            ack = self._client.submit(scenario_dict, priority=self.context.priority)
+        except ServeError as exc:
+            # A refusal (bad-scenario, ...) is deterministic: no retry.
+            self._events.append((key, "failed", f"daemon refused unit: {exc}"))
+            return
+        self._jobs[key] = ack["id"]
+
+    def poll(self, timeout: float = 0.05) -> List[PlacementEvent]:
+        from repro.serve.protocol import CANCELLED, DONE, FAILED
+
+        events = super().poll(timeout)
+        for key, job_id in list(self._jobs.items()):
+            frame = self._client.result(job_id)
+            state = frame["state"]
+            if state == DONE:
+                del self._jobs[key]
+                events.append((key, "done", frame.get("record") or {}))
+            elif state == FAILED:
+                del self._jobs[key]
+                error = str(frame.get("error", "job failed"))
+                kind = "timeout" if is_timeout_error(error) else "failed"
+                events.append((key, kind, error))
+            elif state == CANCELLED:
+                del self._jobs[key]
+                events.append((key, "failed", "job cancelled server-side"))
+        if not events and self._jobs:
+            time.sleep(timeout)  # pace the polling loop
+        return events
+
+    def shutdown(self) -> None:
+        # In-flight jobs stay with the daemon (they finish and populate
+        # its cache); a resumed sweep re-submits and coalesces or hits.
+        if self._client is not None:
+            self._client.close()
+
+
+__all__ = [
+    "Placement",
+    "PlacementContext",
+    "PlacementEvent",
+    "RETRYABLE_KINDS",
+    "register_placement",
+    "get_placement",
+    "list_placements",
+    "LocalPlacement",
+    "PoolPlacement",
+    "ServePlacement",
+]

@@ -91,8 +91,26 @@ def run_scenario_conformance(
     violations: List[str] = record["violations"]
     problem = scenario.build_problem()
 
+    # The reference run rides the sweep executor's local placement --
+    # the same path ``repro sweep --conformance`` takes -- so the
+    # executor's record round-trip is itself under conformance test:
+    # ``first`` is rebuilt from a to_record/from_record cycle and must
+    # still satisfy every invariant and match the direct second run's
+    # work counters.
+    from repro.api.result import RunResult
+    from repro.sweep import run_sweep
+
     try:
-        first = SimulatedBackend(trace=False).run(scenario)
+        outcome = run_sweep(
+            [scenario],
+            backend=SimulatedBackend(trace=False),
+            placement="local",
+            include_solution=True,
+        )
+        sweep_record = outcome.records[0]
+        if "error" in sweep_record:
+            raise RuntimeError(sweep_record["error"])
+        first = RunResult.from_record(sweep_record)
         second = SimulatedBackend(trace=False).run(scenario)
     except Exception as exc:  # noqa: BLE001 - reported per scenario
         violations.append(f"simulated backend raised {type(exc).__name__}: {exc}")
