@@ -32,7 +32,7 @@ from typing import Any, Callable, ClassVar, List, Optional, Protocol, runtime_ch
 
 from repro.api.result import RunResult
 from repro.api.scenario import Scenario
-from repro.core.run import _simulate, get_worker
+from repro.core.run import _simulate, _simulate_many, get_worker
 from repro.registry import Registry
 from repro.runtime.executor import _run_threaded
 
@@ -154,23 +154,23 @@ class SimulatedBackend:
         result = SimulatedBackend().run(scenario)
         assert SimulatedBackend().run(scenario).makespan == result.makespan
 
-    See ``docs/backends.md`` for what the simulator does and does not
-    model.
+    ``batched=True`` attaches the batched tick mode
+    (:mod:`repro.simgrid.batch`): solver iterations requested at the
+    same virtual tick are evaluated in stacked numpy calls.  Results
+    (counters, makespan, solutions, faults) are bit-identical to the
+    scalar mode; only wall-clock time and the engine's event total
+    change.  See ``docs/backends.md`` for what the simulator does and
+    does not model.
     """
 
     name: ClassVar[str] = "simulated"
 
     trace: bool = True
     max_events: Optional[int] = None
+    batched: bool = False
 
-    def run(
-        self,
-        scenario: Scenario,
-        make_solver: Optional[Callable] = None,
-    ) -> RunResult:
-        """Execute ``scenario``; ``make_solver`` optionally overrides the
-        problem's ``(rank, size) -> LocalSolver`` factory (escape hatch
-        for programmatic ablations such as load-balanced partitions)."""
+    def _bind(self, scenario: Scenario, make_solver: Optional[Callable]):
+        """Resolve a scenario into ``_build_world`` kwargs + injector."""
         problem = scenario.build_problem()
         environment = scenario.build_environment()
         network = scenario.build_network()
@@ -192,19 +192,20 @@ class SimulatedBackend:
             solver_factory, make_balancer = compile_plan(
                 scenario, problem, make_solver
             )
-        started = time.perf_counter()
-        outcome = _simulate(
-            solver_factory,
-            scenario.n_ranks,
-            network,
-            policy,
+        spec = dict(
+            make_solver=solver_factory,
+            n_ranks=scenario.n_ranks,
+            network=network,
+            policy=policy,
             worker=worker,
             opts=opts,
             trace=self.trace,
-            max_events=self.max_events,
             faults=injector,
             make_balancer=make_balancer,
         )
+        return spec, injector
+
+    def _wrap(self, scenario, outcome, injector, started: float) -> RunResult:
         return RunResult(
             makespan=outcome.makespan,
             reports=dict(outcome.reports),
@@ -215,6 +216,45 @@ class SimulatedBackend:
             faults={} if injector is None else dict(injector.counters),
             world=outcome.world,
         )
+
+    def run(
+        self,
+        scenario: Scenario,
+        make_solver: Optional[Callable] = None,
+    ) -> RunResult:
+        """Execute ``scenario``; ``make_solver`` optionally overrides the
+        problem's ``(rank, size) -> LocalSolver`` factory (escape hatch
+        for programmatic ablations such as load-balanced partitions)."""
+        started = time.perf_counter()
+        spec, injector = self._bind(scenario, make_solver)
+        outcome = _simulate(
+            **spec, max_events=self.max_events, batched=self.batched
+        )
+        return self._wrap(scenario, outcome, injector, started)
+
+    def run_many(
+        self,
+        scenarios: List[Scenario],
+        make_solver: Optional[Callable] = None,
+    ) -> List[RunResult]:
+        """Execute many scenarios as one cross-world batched mega-run.
+
+        All simulations advance side by side and compatible solver
+        iterations are stacked *across* runs (see
+        :func:`repro.simgrid.batch.run_worlds_batched`) -- a sweep grid
+        of lockstep scenarios over the same problem becomes one very
+        wide kernel call per tick.  Each returned result is
+        bit-identical to ``run()`` of the same scenario.  A failed
+        scenario raises (after the others have still run); sweeps
+        wanting per-unit isolation catch and fall back to ``run()``.
+        """
+        started = time.perf_counter()
+        bound = [self._bind(s, make_solver) for s in scenarios]
+        outcomes = _simulate_many([spec for spec, _ in bound])
+        return [
+            self._wrap(scenario, outcome, injector, started)
+            for scenario, (_, injector), outcome in zip(scenarios, bound, outcomes)
+        ]
 
 
 @register_backend("threaded")

@@ -32,9 +32,11 @@ or, from a shell: ``repro bench --quick`` and
 
 from repro.bench.compare import (
     DEFAULT_THRESHOLD,
+    FINGERPRINT_KEYS,
     CaseComparison,
     Comparison,
     compare_payloads,
+    fingerprint_mismatches,
 )
 from repro.bench.harness import (
     SCHEMA_VERSION,
@@ -72,7 +74,9 @@ __all__ = [
     "write_bench",
     "load_bench",
     "DEFAULT_THRESHOLD",
+    "FINGERPRINT_KEYS",
     "CaseComparison",
     "Comparison",
     "compare_payloads",
+    "fingerprint_mismatches",
 ]

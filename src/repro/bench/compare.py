@@ -6,6 +6,14 @@ faster).  A case is a *regression* when the current median exceeds the
 baseline median by more than the threshold factor, an *improvement*
 when it beats it by the same margin, and *ok* inside the noise band.
 
+Timings recorded on different machines are not comparable: when the
+two payloads' environment fingerprints disagree on any hardware or
+toolchain key (platform, machine, cpu_count, python, implementation,
+numpy -- the git revision is *expected* to differ), every matched case
+is classified ``"env-mismatch"`` instead, which never counts as a
+regression or an improvement.  Pass ``force=True`` to classify
+anyway (the advisory still prints).
+
 Usage::
 
     from repro.bench import compare_payloads, load_bench
@@ -27,13 +35,38 @@ from typing import Any, List, Mapping, Optional
 #: regression (median-of-k on shared CI runners jitters well below that).
 DEFAULT_THRESHOLD = 1.25
 
+#: Environment-fingerprint keys that must agree for timings to be
+#: comparable.  ``git_rev`` is deliberately absent: comparing across
+#: revisions is the whole point of the gate.
+FINGERPRINT_KEYS = (
+    "platform",
+    "machine",
+    "cpu_count",
+    "python",
+    "implementation",
+    "numpy",
+)
+
+
+def fingerprint_mismatches(
+    baseline_env: Mapping[str, Any], current_env: Mapping[str, Any]
+) -> List[str]:
+    """The :data:`FINGERPRINT_KEYS` on which the two payloads disagree."""
+    return [
+        key
+        for key in FINGERPRINT_KEYS
+        if baseline_env.get(key) != current_env.get(key)
+    ]
+
 
 @dataclass(frozen=True)
 class CaseComparison:
     """One matched (or unmatched) case in a comparison.
 
     ``status`` is ``"ok"``, ``"improved"``, ``"regression"``,
-    ``"added"`` (only in current) or ``"removed"`` (only in baseline).
+    ``"env-mismatch"`` (matched, but the payloads come from different
+    machines/toolchains -- advisory only), ``"added"`` (only in
+    current) or ``"removed"`` (only in baseline).
     ``speedup`` is ``baseline_median / current_median`` when both sides
     exist.
     """
@@ -53,6 +86,10 @@ class Comparison:
     rows: List[CaseComparison] = field(default_factory=list)
     baseline_env: Mapping[str, Any] = field(default_factory=dict)
     current_env: Mapping[str, Any] = field(default_factory=dict)
+    #: Fingerprint keys the payloads disagree on (empty: same machine).
+    env_mismatch: List[str] = field(default_factory=list)
+    #: True when classification ran despite an environment mismatch.
+    forced: bool = False
 
     @property
     def regressions(self) -> List[CaseComparison]:
@@ -81,6 +118,22 @@ class Comparison:
             f"{len(self.regressions)} regression(s), "
             f"{len(self.improvements)} improvement(s)"
         )
+        if self.env_mismatch:
+            detail = ", ".join(
+                f"{key}: {self.baseline_env.get(key)} vs {self.current_env.get(key)}"
+                for key in self.env_mismatch
+            )
+            if self.forced:
+                lines.append(
+                    f"WARNING: environment fingerprints differ ({detail}); "
+                    "classification forced (--force), treat results as advisory"
+                )
+            else:
+                lines.append(
+                    f"ADVISORY: environment fingerprints differ ({detail}); "
+                    "matched cases are marked env-mismatch and excluded from "
+                    "the regression gate (re-run with --force to classify anyway)"
+                )
         if self.baseline_env.get("git_rev") != self.current_env.get("git_rev"):
             lines.append(
                 f"baseline rev {str(self.baseline_env.get('git_rev'))[:12]} -> "
@@ -100,11 +153,16 @@ def compare_payloads(
     baseline: Mapping[str, Any],
     current: Mapping[str, Any],
     threshold: float = DEFAULT_THRESHOLD,
+    force: bool = False,
 ) -> Comparison:
     """Match cases by name and classify each against ``threshold``.
 
     ``threshold`` must be > 1; e.g. 1.25 flags a case whose current
-    median is more than 1.25x its baseline median.
+    median is more than 1.25x its baseline median.  When the payloads'
+    environment fingerprints disagree (different machine, interpreter
+    or numpy -- see :data:`FINGERPRINT_KEYS`), matched cases settle as
+    ``"env-mismatch"`` and the regression gate passes vacuously;
+    ``force=True`` classifies them anyway.
     """
     if threshold <= 1.0:
         raise ValueError("threshold must be > 1 (a slowdown factor)")
@@ -114,7 +172,12 @@ def compare_payloads(
         threshold=threshold,
         baseline_env=baseline.get("environment", {}),
         current_env=current.get("environment", {}),
+        forced=force,
     )
+    report.env_mismatch = fingerprint_mismatches(
+        report.baseline_env, report.current_env
+    )
+    mismatched = bool(report.env_mismatch) and not force
     for name, base in baseline_cases.items():
         cur = current_cases.get(name)
         if cur is None:
@@ -124,7 +187,11 @@ def compare_payloads(
         base_median = float(base["median_s"])
         cur_median = float(cur["median_s"])
         speedup = base_median / cur_median if cur_median > 0 else float("inf")
-        if cur_median > base_median * threshold:
+        if mismatched:
+            # The numbers come from different machines: the speedup is
+            # still reported (it is honest data) but never gates.
+            status = "env-mismatch"
+        elif cur_median > base_median * threshold:
             status = "regression"
         elif cur_median * threshold < base_median:
             status = "improved"
@@ -146,4 +213,11 @@ def compare_payloads(
     return report
 
 
-__all__ = ["DEFAULT_THRESHOLD", "CaseComparison", "Comparison", "compare_payloads"]
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "FINGERPRINT_KEYS",
+    "CaseComparison",
+    "Comparison",
+    "compare_payloads",
+    "fingerprint_mismatches",
+]

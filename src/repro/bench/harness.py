@@ -121,6 +121,43 @@ def _run_scenario_case(case: BenchCase, repeats: int) -> Dict[str, Any]:
     return {"timings_s": timings, "counter_runs": counter_runs}
 
 
+def _run_sweep_case(case: BenchCase, repeats: int) -> Dict[str, Any]:
+    from repro.sweep import run_sweep
+
+    grid = [dict(s) for s in case.sweep["grid"]]
+    placement = case.sweep.get("placement", "local")
+    timings: List[float] = []
+    counter_runs: List[Dict[str, Any]] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        outcome = run_sweep(grid, placement=placement)
+        timings.append(time.perf_counter() - started)
+        records = [r for r in outcome.records if "error" not in r]
+        # Aggregate only the deterministic work counters (no wall
+        # clock, no engine event totals): a scalar/mega case pair over
+        # the same grid must produce *identical* counters -- the
+        # ledger's bitwise-parity record.
+        counter_runs.append(
+            {
+                "units": len(outcome.records),
+                "executed": int(outcome.counters.get("executed", 0)),
+                "failed": int(outcome.counters.get("failed", 0)),
+                "converged": int(all(r["converged"] for r in records)),
+                "total_iterations": sum(
+                    int(r["total_iterations"]) for r in records
+                ),
+                "messages_sent": sum(
+                    int(r["backend_stats"].get("messages_sent", 0))
+                    for r in records
+                ),
+                "makespan_us_sum": sum(
+                    int(r["makespan"] * 1e6) for r in records
+                ),
+            }
+        )
+    return {"timings_s": timings, "counter_runs": counter_runs}
+
+
 def _run_kernel_case(case: BenchCase, repeats: int) -> Dict[str, Any]:
     factory = KERNELS.get(case.kernel)
     if factory is None:
@@ -150,6 +187,8 @@ def run_case(case: BenchCase, repeats: int = 5) -> Dict[str, Any]:
         raise ValueError("repeats must be >= 1")
     if case.kind == "scenario":
         raw = _run_scenario_case(case, repeats)
+    elif case.kind == "sweep":
+        raw = _run_sweep_case(case, repeats)
     else:
         raw = _run_kernel_case(case, repeats)
     runs = raw["counter_runs"]

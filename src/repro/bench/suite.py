@@ -1,12 +1,14 @@
 """The curated benchmark suite: cases as values.
 
-A :class:`BenchCase` names either a *scenario* (a
+A :class:`BenchCase` names a *scenario* (a
 :class:`repro.api.Scenario` dict executed end-to-end through a
-backend) or a *kernel* (a hot-path micro-benchmark from
-:mod:`repro.bench.kernels`).  The default suite mixes both so a single
-``repro bench`` run records the end-to-end cost of the paper's
-workloads *and* the isolated cost of the primitives they stress
-(sparse mat-vec, event dispatch, channel traffic).
+backend), a *kernel* (a hot-path micro-benchmark from
+:mod:`repro.bench.kernels`), or a *sweep* (a scenario grid pushed
+through :func:`repro.sweep.run_sweep` under a named placement -- the
+mega-run vs scalar sweep pairs live here).  The default suite mixes
+all three so a single ``repro bench`` run records the end-to-end cost
+of the paper's workloads *and* the isolated cost of the primitives
+they stress (sparse mat-vec, event dispatch, channel traffic).
 
 Usage::
 
@@ -35,14 +37,23 @@ class BenchCase:
         Unique identifier; ``--compare`` matches cases across bench
         files by this name, so renaming a case breaks its history.
     kind:
-        ``"scenario"`` (end-to-end through a backend) or ``"kernel"``
-        (a micro-benchmark from :data:`repro.bench.kernels.KERNELS`).
+        ``"scenario"`` (end-to-end through a backend), ``"kernel"``
+        (a micro-benchmark from :data:`repro.bench.kernels.KERNELS`),
+        or ``"sweep"`` (a scenario grid through
+        :func:`repro.sweep.run_sweep`).
     scenario:
         :meth:`repro.api.Scenario.to_dict` form; ``kind="scenario"``.
     backend:
         Backend registry name the scenario runs on.
     kernel:
         Kernel name; ``kind="kernel"``.
+    sweep:
+        ``kind="sweep"``: a mapping with ``"grid"`` (a non-empty list
+        of scenario dicts) and optional ``"placement"`` (registry name,
+        default ``"local"``).  A scalar/mega case pair over the *same*
+        grid records the mega-run speedup in the ledger, and -- because
+        the sweep counters aggregate the deterministic work counters --
+        proves bitwise parity at the same time.
     tags:
         Free-form labels; the :data:`QUICK` tag selects the smoke tier.
     deterministic_counters:
@@ -55,16 +66,63 @@ class BenchCase:
     scenario: Optional[Mapping[str, Any]] = None
     backend: str = "simulated"
     kernel: Optional[str] = None
+    sweep: Optional[Mapping[str, Any]] = None
     tags: Tuple[str, ...] = ()
     deterministic_counters: bool = True
 
     def __post_init__(self) -> None:
-        if self.kind not in ("scenario", "kernel"):
-            raise ValueError(f"kind must be 'scenario' or 'kernel', got {self.kind!r}")
+        if self.kind not in ("scenario", "kernel", "sweep"):
+            raise ValueError(
+                f"kind must be 'scenario', 'kernel' or 'sweep', got {self.kind!r}"
+            )
         if self.kind == "scenario" and not self.scenario:
             raise ValueError(f"case {self.name!r}: scenario kind needs a scenario dict")
         if self.kind == "kernel" and not self.kernel:
             raise ValueError(f"case {self.name!r}: kernel kind needs a kernel name")
+        if self.kind == "sweep" and not (self.sweep and self.sweep.get("grid")):
+            raise ValueError(
+                f"case {self.name!r}: sweep kind needs a sweep mapping "
+                "with a non-empty 'grid'"
+            )
+
+
+def _chemical_speed_grid(
+    n_points: int,
+    problem_params: Mapping[str, Any],
+    step: float = 0.0125,
+) -> List[Dict[str, Any]]:
+    """A cluster-speed sweep over the chemical lockstep scenario.
+
+    The grid varies only the cluster's ``speed_scale`` -- the paper's
+    "same computation, different machines" sweep.  The numerical
+    trajectory is identical at every point, which is exactly the shape
+    the mega-run's content dedup collapses: one Newton solve serves the
+    whole grid.
+    """
+    return [
+        {
+            "problem": "chemical",
+            "problem_params": dict(problem_params),
+            "environment": "sync_mpi",
+            "n_ranks": 4,
+            "cluster": "local_cluster",
+            "cluster_params": {"speed_scale": 0.8 + step * i, "n_hosts": 4},
+            "seed": 42,
+        }
+        for i in range(n_points)
+    ]
+
+
+#: The tight-tolerance 32-point grid behind the BENCH_4 mega-run claim:
+#: deep GMRES/Newton work per tick makes the compute share dominate, so
+#: the dedup win is visible above the event-loop floor.
+_TIGHT_CHEMICAL = {
+    "nx": 24, "nz": 24, "t_end": 2160.0,
+    "gmres_tol": 1e-12, "newton_tol": 1e-10,
+}
+
+#: The smoke-tier 8-point grid: same shape, small enough for CI.
+_QUICK_CHEMICAL = {"nx": 8, "nz": 12, "t_end": 360.0}
 
 
 def _sparse(n: int, environment: str, n_ranks: int) -> Dict[str, Any]:
@@ -233,6 +291,42 @@ DEFAULT_SUITE: List[BenchCase] = [
         backend="process",
         tags=("gil_pair",),
         deterministic_counters=False,
+    ),
+    # -- sweep grids: scalar placement vs the batched mega-run ---------
+    # Each pair runs the *same* grid twice, once a scenario at a time
+    # (local placement) and once as a single cross-world mega-run (mega
+    # placement, content-deduped batched engine).  The timing ratio is
+    # the sweep-throughput win; the aggregated work counters of the two
+    # cases must be identical -- bitwise parity, recorded in the ledger.
+    BenchCase(
+        name="sweep/chemical_grid8_scalar",
+        kind="sweep",
+        sweep={"grid": _chemical_speed_grid(8, _QUICK_CHEMICAL, step=0.05)},
+        tags=(QUICK, "mega_pair"),
+    ),
+    BenchCase(
+        name="sweep/chemical_grid8_mega",
+        kind="sweep",
+        sweep={
+            "grid": _chemical_speed_grid(8, _QUICK_CHEMICAL, step=0.05),
+            "placement": "mega",
+        },
+        tags=(QUICK, "mega_pair"),
+    ),
+    BenchCase(
+        name="sweep/chemical_tight_grid32_scalar",
+        kind="sweep",
+        sweep={"grid": _chemical_speed_grid(32, _TIGHT_CHEMICAL)},
+        tags=("mega_pair",),
+    ),
+    BenchCase(
+        name="sweep/chemical_tight_grid32_mega",
+        kind="sweep",
+        sweep={
+            "grid": _chemical_speed_grid(32, _TIGHT_CHEMICAL),
+            "placement": "mega",
+        },
+        tags=("mega_pair",),
     ),
     # -- hot-path kernels ----------------------------------------------
     BenchCase(

@@ -27,11 +27,14 @@ local|pool|serve] [--processes N] [--state-dir DIR] [--resume]
     ``docs/sweeping.md``.
 
 ``repro bench [--quick] [--filter SUBSTR] [--repeats K]
-[--output PATH] [--compare BASELINE.json] [--threshold X] [--list]``
+[--output PATH] [--compare BASELINE.json] [--threshold X] [--force]
+[--list]``
     Run the curated benchmark suite (:mod:`repro.bench`) and emit a
     ``BENCH_<n>.json`` speed ledger; with ``--compare`` the fresh run
     is additionally checked against a baseline file and regressions
-    fail the command.  See ``docs/benchmarking.md``.
+    fail the command (baselines from a different machine settle as
+    ``env-mismatch`` advisories unless ``--force``).  See
+    ``docs/benchmarking.md``.
 
 ``repro conformance [--n N] [--seed S] [--filter SUBSTR]
 [--report PATH] [--timeout T] [--simulated-only] [--skip-process]``
@@ -282,7 +285,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     path = write_bench(payload, path=args.output)
     print(f"wrote {len(payload['cases'])} case(s) to {path}")
     if baseline is not None:
-        report = compare_payloads(baseline, payload, threshold=threshold)
+        report = compare_payloads(
+            baseline, payload, threshold=threshold, force=args.force
+        )
         print()
         print(report.format())
         if report.regressions:
@@ -638,6 +643,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--threshold", type=float, default=None, metavar="X",
         help="slowdown factor that counts as a regression (default: 1.25)",
+    )
+    bench_parser.add_argument(
+        "--force", action="store_true",
+        help="classify against the baseline even when the environment "
+        "fingerprints differ (by default mismatched runs settle as "
+        "env-mismatch and never gate)",
     )
     bench_parser.add_argument(
         "--list", action="store_true",

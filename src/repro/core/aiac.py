@@ -28,7 +28,16 @@ import numpy as np
 from repro.core.comm import SendScheduler
 from repro.core.convergence import CoordinatorPanel, LocalConvergenceTracker
 from repro.problems.base import LocalSolver, SteppedLocalSolver
-from repro.simgrid.effects import Barrier, Compute, Drain, Now, Recv, Send, Trace
+from repro.simgrid.effects import (
+    Barrier,
+    Compute,
+    Drain,
+    Iterate,
+    Now,
+    Recv,
+    Send,
+    Trace,
+)
 
 
 @dataclass(frozen=True)
@@ -137,6 +146,12 @@ def _aiac_inner(
     tag_data = f"data{suffix}"
     tag_state = f"state{suffix}"
     tag_stop = f"stop{suffix}"
+    # Drain effects are stateless; build the three used every iteration
+    # once instead of per loop pass.
+    drain_data = Drain(tag_data)
+    drain_state = Drain(tag_state)
+    drain_stop = Drain(tag_stop)
+    iterate_effect = Iterate(solver)
     coord = opts.coordinator_rank
     tracker = LocalConvergenceTracker(opts.eps, opts.stability_count)
     scheduler = SendScheduler()
@@ -153,7 +168,7 @@ def _aiac_inner(
         # Receipts happen "at any time" in separate threads; by drain
         # time every message that became visible is incorporated --
         # "as soon as data are received, they are taken into account".
-        for msg in (yield Drain(tag_data)):
+        for msg in (yield drain_data):
             solver.integrate(msg.src, msg.payload)
             last_heard[msg.src] = iterations
 
@@ -175,7 +190,7 @@ def _aiac_inner(
                         )
                         state_messages += 1
 
-        result = solver.iterate()
+        result = yield iterate_effect
         iterations += 1
         last_meta = result.meta
         yield Compute(result.flops)
@@ -206,7 +221,7 @@ def _aiac_inner(
         if rank == coord:
             if changed:
                 panel.update(rank, iterations, tracker.converged)
-            for msg in (yield Drain(tag_state)):
+            for msg in (yield drain_state):
                 panel.update(*msg.payload)
             if panel.all_converged():
                 for other in range(size):
@@ -221,7 +236,7 @@ def _aiac_inner(
                     (rank, iterations, tracker.converged), opts.state_bytes,
                 )
                 state_messages += 1
-            if (yield Drain(tag_stop)):
+            if (yield drain_stop):
                 stopped = True
                 break
 

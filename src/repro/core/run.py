@@ -91,6 +91,56 @@ class RunResult:
         }
 
 
+def _build_world(
+    make_solver: Callable[[int, int], LocalSolver],
+    n_ranks: int,
+    network: Network,
+    policy: CommPolicy,
+    worker: str = "aiac",
+    opts: Optional[AIACOptions] = None,
+    trace: bool = True,
+    faults: Optional[Any] = None,
+    make_balancer: Optional[Callable[[int, int], Any]] = None,
+    batched: bool = False,
+) -> World:
+    """Validate the inputs and wire up a ready-to-run :class:`World`."""
+    if worker not in WORKERS:
+        raise ValueError(f"unknown worker {worker!r}; choose from {sorted(WORKERS)}")
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    if n_ranks > len(network.hosts):
+        raise ValueError(
+            f"{n_ranks} ranks but only {len(network.hosts)} hosts in the network"
+        )
+    worker_fn = WORKERS[worker]
+    opts = opts or AIACOptions()
+    world = World(network, policy, trace=trace, faults=faults)
+    if batched:
+        from repro.simgrid.batch import ComputeBatcher
+
+        world.compute_batcher = ComputeBatcher(world)
+    for rank in range(n_ranks):
+        solver = make_solver(rank, n_ranks)
+        if make_balancer is not None:
+            coroutine = worker_fn(
+                rank, n_ranks, solver, opts,
+                balancer=make_balancer(rank, n_ranks),
+            )
+        else:
+            coroutine = worker_fn(rank, n_ranks, solver, opts)
+        world.spawn(coroutine)
+    return world
+
+
+def _collect_result(world: World, makespan: float) -> RunResult:
+    """Assemble a :class:`RunResult` from a finished world."""
+    reports = {rank: report for rank, report in world.results.items()}
+    for rank, report in reports.items():
+        if hasattr(report, "busy_time"):
+            report.busy_time = world.processes[rank].busy_time
+    return RunResult(makespan=makespan, reports=reports, world=world)
+
+
 def _simulate(
     make_solver: Callable[[int, int], LocalSolver],
     n_ranks: int,
@@ -102,6 +152,7 @@ def _simulate(
     max_events: Optional[int] = None,
     faults: Optional[Any] = None,
     make_balancer: Optional[Callable[[int, int], Any]] = None,
+    batched: bool = False,
 ) -> RunResult:
     """Simulate a parallel run of ``n_ranks`` workers.
 
@@ -125,34 +176,35 @@ def _simulate(
         ``(rank, size) -> MigrationEngine`` when the run balances load
         dynamically (see :mod:`repro.balancing`); the worker must
         accept a ``balancer`` keyword (the ``aiac`` worker does).
+    batched:
+        Attach a :class:`repro.simgrid.batch.ComputeBatcher`: solver
+        iterations requested at the same virtual tick are evaluated in
+        stacked groups (bit-identical results, fewer kernel calls).
     """
-    if worker not in WORKERS:
-        raise ValueError(f"unknown worker {worker!r}; choose from {sorted(WORKERS)}")
-    if n_ranks < 1:
-        raise ValueError("n_ranks must be >= 1")
-    if n_ranks > len(network.hosts):
-        raise ValueError(
-            f"{n_ranks} ranks but only {len(network.hosts)} hosts in the network"
-        )
-    worker_fn = WORKERS[worker]
-    opts = opts or AIACOptions()
-    world = World(network, policy, trace=trace, faults=faults)
-    for rank in range(n_ranks):
-        solver = make_solver(rank, n_ranks)
-        if make_balancer is not None:
-            coroutine = worker_fn(
-                rank, n_ranks, solver, opts,
-                balancer=make_balancer(rank, n_ranks),
-            )
-        else:
-            coroutine = worker_fn(rank, n_ranks, solver, opts)
-        world.spawn(coroutine)
+    world = _build_world(
+        make_solver, n_ranks, network, policy,
+        worker=worker, opts=opts, trace=trace, faults=faults,
+        make_balancer=make_balancer, batched=batched,
+    )
     makespan = world.run(max_events=max_events)
-    reports = {rank: report for rank, report in world.results.items()}
-    for rank, report in reports.items():
-        if hasattr(report, "busy_time"):
-            report.busy_time = world.processes[rank].busy_time
-    return RunResult(makespan=makespan, reports=reports, world=world)
+    return _collect_result(world, makespan)
+
+
+def _simulate_many(specs: List[Dict[str, Any]]) -> List[RunResult]:
+    """Run many simulations as one cross-world batched mega-run.
+
+    ``specs`` holds keyword dicts for :func:`_build_world` (one per
+    run).  All worlds advance side by side; compatible solver
+    iterations are stacked *across* worlds (see
+    :func:`repro.simgrid.batch.run_worlds_batched`).  Results come
+    back in input order; the first failed world raises (after every
+    other world has still been driven to completion).
+    """
+    from repro.simgrid.batch import run_worlds_batched
+
+    worlds = [_build_world(**spec, batched=True) for spec in specs]
+    run_worlds_batched(worlds)
+    return [_collect_result(world, world.finish()) for world in worlds]
 
 
 def simulate(

@@ -19,7 +19,7 @@ from typing import Any, Dict, Generator, Optional
 
 from repro.core.aiac import AIACOptions, WorkerReport, _initial_exchange
 from repro.problems.base import LocalSolver, SteppedLocalSolver
-from repro.simgrid.effects import Barrier, Compute, Drain, Now, Recv, Send
+from repro.simgrid.effects import Barrier, Compute, Drain, Iterate, Now, Recv, Send
 
 
 def _allreduce_max(
@@ -78,9 +78,10 @@ def _sisc_inner(
     residual = float("inf")
     meta: Dict[str, Any] = {}
     providers = solver.providers()
+    iterate_effect = Iterate(solver)
 
     while iterations < opts.max_iterations:
-        result = solver.iterate()
+        result = yield iterate_effect
         iterations += 1
         residual = result.residual
         meta = result.meta

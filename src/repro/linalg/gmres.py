@@ -5,12 +5,21 @@ Implemented from scratch: Arnoldi process with modified Gram-Schmidt
 orthogonalisation and Givens rotations applied incrementally to the
 Hessenberg matrix, so the residual norm is available at every inner
 step without forming the solution.
+
+The algorithm body lives in :func:`gmres_gen`, a generator that *yields*
+every vector it needs multiplied by ``A`` and receives the product via
+``send``.  :func:`gmres` pumps it against a plain callable operator;
+the batched chemical path (:mod:`repro.problems.chemical`) pumps many
+instances side by side and evaluates all their matvecs in one stacked
+numpy call.  Both drivers therefore execute the identical per-system
+arithmetic, which is what makes batched and scalar runs bit-identical.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Generator, Optional
 
 import numpy as np
 
@@ -41,31 +50,25 @@ def _apply_givens(h: np.ndarray, cs: np.ndarray, sn: np.ndarray, k: int) -> None
         h[i] = temp
 
 
-def gmres(
-    apply_a: Operator,
+def gmres_gen(
     b: np.ndarray,
     x0: Optional[np.ndarray] = None,
     tol: float = 1e-10,
     atol: float = 0.0,
     restart: int = 30,
     max_iterations: int = 10_000,
-) -> GMRESResult:
-    """Solve ``A x = b`` with restarted GMRES.
+) -> Generator[np.ndarray, np.ndarray, GMRESResult]:
+    """Inverted-control GMRES: yields vectors, receives ``A v`` products.
 
-    Parameters
-    ----------
-    apply_a:
-        Matrix-free operator returning ``A v``.
-    b:
-        Right-hand side.
-    x0:
-        Initial guess (zeros by default).
-    tol, atol:
-        Convergence when ``||r||_2 <= max(tol * ||b||_2, atol)``.
-    restart:
-        Krylov subspace dimension per cycle (GMRES(m)).
-    max_iterations:
-        Cap on total inner iterations.
+    Every ``yield v`` asks the driver for ``A v``; the generator's
+    return value (the ``StopIteration`` payload) is the
+    :class:`GMRESResult`.  Parameters match :func:`gmres`.
+
+    Driver contract: a sent product is *consumed* -- the generator may
+    mutate it in place (Gram-Schmidt), so it must be a fresh array that
+    does not alias a previously yielded vector.  :func:`gmres` copies
+    defensively on behalf of arbitrary operators; the batched chemical
+    driver always sends freshly allocated evaluation results.
     """
     b = np.asarray(b, dtype=float)
     n = b.shape[0]
@@ -77,7 +80,7 @@ def gmres(
     if x.shape != (n,):
         raise ValueError(f"x0 has shape {x.shape}, expected ({n},)")
 
-    b_norm = float(np.linalg.norm(b))
+    b_norm = math.sqrt(float(np.dot(b, b)))
     target = max(tol * b_norm, atol)
     if b_norm == 0.0 and atol == 0.0:
         # A x = 0 has solution x = 0 for the nonsingular systems we target.
@@ -88,42 +91,52 @@ def gmres(
     residual_norm = float("inf")
     m = min(restart, n)
 
+    # Scratch for the in-place Gram-Schmidt update (one per solve).
+    scratch = np.empty(n)
+
     while total_inner < max_iterations:
-        r = b - apply_a(x)
-        residual_norm = float(np.linalg.norm(r))
+        # The sent product is consumed (driver contract), so the
+        # residual can overwrite it in place.
+        p = np.asarray((yield x), dtype=float)
+        r = np.subtract(b, p, out=p)
+        residual_norm = math.sqrt(float(np.dot(r, r)))
         if residual_norm <= target:
             return GMRESResult(
                 x=x, iterations=total_inner, restarts=restarts,
                 residual_norm=residual_norm, converged=True,
             )
-        # Arnoldi basis and Hessenberg factors for this cycle.
-        V = np.zeros((m + 1, n))
-        H = np.zeros((m + 1, m))
-        cs = np.zeros(m)
-        sn = np.zeros(m)
-        g = np.zeros(m + 1)
-        V[0] = r / residual_norm
+        # Arnoldi basis and Hessenberg factors for this cycle.  All are
+        # ``empty``: every entry that is later read is assigned first
+        # (V rows 0..k_used, H columns as they are built, g/cs/sn per
+        # inner step).
+        V = np.empty((m + 1, n))
+        H = np.empty((m + 1, m))
+        cs = np.empty(m)
+        sn = np.empty(m)
+        g = np.empty(m + 1)
+        np.divide(r, residual_norm, out=V[0])
         g[0] = residual_norm
         k_used = 0
 
         for k in range(m):
             if total_inner >= max_iterations:
                 break
-            # Copy defensively: an operator may return (a view of) its
-            # argument, and modified Gram-Schmidt mutates ``w``.
-            w = np.array(apply_a(V[k]), dtype=float, copy=True)
+            w = np.asarray((yield V[k]), dtype=float)
             total_inner += 1
-            # Modified Gram-Schmidt.
+            # Modified Gram-Schmidt (mutates ``w`` -- see the driver
+            # contract in the docstring).
             for i in range(k + 1):
-                H[i, k] = float(np.dot(w, V[i]))
-                w -= H[i, k] * V[i]
-            H[k + 1, k] = float(np.linalg.norm(w))
+                hik = float(np.dot(w, V[i]))
+                H[i, k] = hik
+                np.multiply(V[i], hik, out=scratch)
+                w -= scratch
+            H[k + 1, k] = math.sqrt(float(np.dot(w, w)))
             # "Happy breakdown": the Krylov space became invariant.  Must
             # be tested on the subdiagonal *before* the Givens rotation
             # zeroes it out below.
             happy_breakdown = H[k + 1, k] <= 1e-300
             if not happy_breakdown:
-                V[k + 1] = w / H[k + 1, k]
+                np.divide(w, H[k + 1, k], out=V[k + 1])
             # Apply previous rotations, then compute the new one.
             h_col = H[: k + 2, k]
             _apply_givens(h_col, cs, sn, k)
@@ -152,17 +165,60 @@ def gmres(
         restarts += 1
         if residual_norm <= target:
             # Recompute the true residual to report an honest norm.
-            true_norm = float(np.linalg.norm(b - apply_a(x)))
+            r = b - (yield x)
+            true_norm = math.sqrt(float(np.dot(r, r)))
             return GMRESResult(
                 x=x, iterations=total_inner, restarts=restarts,
                 residual_norm=true_norm, converged=true_norm <= max(target, 10 * target),
             )
 
-    true_norm = float(np.linalg.norm(b - apply_a(x)))
+    r = b - (yield x)
+    true_norm = math.sqrt(float(np.dot(r, r)))
     return GMRESResult(
         x=x, iterations=total_inner, restarts=restarts,
         residual_norm=true_norm, converged=true_norm <= target,
     )
 
 
-__all__ = ["gmres", "GMRESResult"]
+def gmres(
+    apply_a: Operator,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-10,
+    atol: float = 0.0,
+    restart: int = 30,
+    max_iterations: int = 10_000,
+) -> GMRESResult:
+    """Solve ``A x = b`` with restarted GMRES.
+
+    Parameters
+    ----------
+    apply_a:
+        Matrix-free operator returning ``A v``.
+    b:
+        Right-hand side.
+    x0:
+        Initial guess (zeros by default).
+    tol, atol:
+        Convergence when ``||r||_2 <= max(tol * ||b||_2, atol)``.
+    restart:
+        Krylov subspace dimension per cycle (GMRES(m)).
+    max_iterations:
+        Cap on total inner iterations.
+    """
+    gen = gmres_gen(
+        b, x0=x0, tol=tol, atol=atol, restart=restart,
+        max_iterations=max_iterations,
+    )
+    try:
+        v = next(gen)
+        while True:
+            # Copy defensively: an arbitrary operator may return (a
+            # view of) a shared buffer, and the generator consumes the
+            # product in place (see the gmres_gen driver contract).
+            v = gen.send(np.array(apply_a(v), dtype=float, copy=True))
+    except StopIteration as stop:
+        return stop.value
+
+
+__all__ = ["gmres", "gmres_gen", "GMRESResult"]

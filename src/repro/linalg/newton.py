@@ -37,6 +37,21 @@ class NewtonResult:
     step_norms: List[float] = field(default_factory=list)
 
 
+#: sqrt(machine epsilon): the base step of the FD directional derivative.
+SQRT_EPS = float(np.sqrt(np.finfo(float).eps))
+
+
+def fd_epsilon(x_norm: float, v_norm: float) -> float:
+    """The FD perturbation size ``e = sqrt(eps) * (1 + ||x||) / ||v||``.
+
+    The standard scaling keeps the perturbation well conditioned across
+    the huge dynamic range of the chemical concentrations.  Shared by
+    :func:`fd_jacobian_operator` and the generator-based Newton of
+    :mod:`repro.problems.chemical` so both paths use one formula.
+    """
+    return SQRT_EPS * (1.0 + x_norm) / v_norm
+
+
 def fd_jacobian_operator(
     func: Callable[[np.ndarray], np.ndarray],
     x: np.ndarray,
@@ -45,18 +60,16 @@ def fd_jacobian_operator(
 ) -> Callable[[np.ndarray], np.ndarray]:
     """Finite-difference Jacobian-vector product at ``x``.
 
-    Uses the standard scaling ``e = sqrt(eps) * (1 + ||x||) / ||v||`` so
-    the perturbation stays well conditioned across the huge dynamic
-    range of the chemical concentrations.
+    Uses :func:`fd_epsilon` for the perturbation size; a zero direction
+    short-circuits to zeros without evaluating ``func``.
     """
-    sqrt_eps = np.sqrt(np.finfo(float).eps)
     x_norm = float(np.linalg.norm(x))
 
     def apply(v: np.ndarray) -> np.ndarray:
         v_norm = float(np.linalg.norm(v))
         if v_norm == 0.0:
             return np.zeros_like(v)
-        e = sqrt_eps * (1.0 + x_norm) / v_norm
+        e = fd_epsilon(x_norm, v_norm)
         if counter is not None:
             counter[0] += 1
         return (func(x + e * v) - fx) / e
@@ -134,4 +147,4 @@ def newton(
     )
 
 
-__all__ = ["newton", "NewtonResult", "fd_jacobian_operator"]
+__all__ = ["newton", "NewtonResult", "fd_jacobian_operator", "fd_epsilon", "SQRT_EPS"]

@@ -19,19 +19,36 @@ solved by Newton, each Newton correction by matrix-free GMRES
 (Section 4.2).  The parallel decomposition is the paper's: horizontal
 strips along z, nearest-neighbour halo exchange, multisplitting Newton
 (one synchronisation per time step only).
+
+Hot-path layout
+---------------
+All RHS evaluations run through one *batched* kernel operating on a
+stack of ``k`` strip states in a preallocated ghost-padded buffer
+(:class:`_StripWorkspace`): interior views of the pad give the five
+stencil neighbours without the four ``np.concatenate`` copies the
+original per-call implementation paid, and every arithmetic step is an
+in-place ufunc.  The scalar path is the ``k = 1`` case of the same
+kernel, and Newton/GMRES are written as *generators*
+(:func:`scaled_newton_gen`, :func:`repro.linalg.gmres.gmres_gen`) that
+yield the points they need ``g`` evaluated at: a driver can pump one
+solver (scalar) or stack the yielded points of many solvers into a
+single kernel call (the batched engine mode and the sweep "mega-run").
+Because every per-member reduction (norms, dots, Givens rotations)
+stays inside that member's own generator and stacked ufuncs are
+element-wise, batched and scalar runs are bit-identical.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.linalg.gmres import gmres
-from repro.linalg.newton import fd_jacobian_operator
-from repro.linalg.norms import error_weights, weighted_rms
+from repro.linalg.gmres import gmres_gen
+from repro.linalg.newton import fd_epsilon
 from repro.linalg.partition import BlockPartition
 from repro.problems.base import LocalIteration, SteppedLocalSolver
 
@@ -49,6 +66,8 @@ OMEGA = math.pi / 43200.0
 
 X_MIN, X_MAX = 0.0, 20.0
 Z_MIN, Z_MAX = 30.0, 50.0
+
+_Q1C3 = Q1 * C3
 
 
 def kv(z: np.ndarray | float) -> np.ndarray | float:
@@ -122,6 +141,197 @@ class ChemicalConfig:
 PAPER_CHEMICAL = ChemicalConfig(nx=600, nz=600)
 
 
+class _StripWorkspace:
+    """Preallocated buffers for batched strip-RHS evaluation.
+
+    ``pad`` is the ghost-padded state stack ``(k, 2, rows+2, nx+2)``;
+    interior slices of it provide the five stencil neighbours without
+    any copy.  ``out`` accumulates the RHS, ``t0``/``t1``/``t2`` are
+    scratch.  A workspace serves any batch width up to ``k`` by slicing
+    along the leading axis (C-contiguity is preserved).
+    """
+
+    def __init__(self, k: int, rows: int, nx: int) -> None:
+        self.k = k
+        self.rows = rows
+        self.nx = nx
+        self.pad = np.empty((k, 2, rows + 2, nx + 2))
+        self.out = np.empty((k, 2, rows, nx))
+        self.t0 = np.empty((k, rows, nx))
+        self.t1 = np.empty((k, rows, nx))
+        self.t2 = np.empty((k, 2, rows, nx))
+        # The halo array whose bytes currently occupy each slot's ghost
+        # rows (None = a mirror that must be refreshed every call).
+        # Tracked per *workspace* slot, not per view width, so mixed
+        # batch widths sharing the pad invalidate each other correctly.
+        self.last_top: List[Optional[np.ndarray]] = [None] * k
+        self.last_bot: List[Optional[np.ndarray]] = [None] * k
+        self._views: Dict[int, _WsViews] = {}
+
+    def views(self, j: int) -> "_WsViews":
+        """Cached stencil/scratch views for batch width ``j``."""
+        v = self._views.get(j)
+        if v is None:
+            v = self._views[j] = _WsViews(self, j)
+        return v
+
+
+class _WsViews:
+    """Precomputed array views for one batch width.
+
+    Slicing tiny arrays costs as much as operating on them, so the
+    five stencil neighbours, the ghost rows/columns and the scratch
+    views are built once per (workspace, width) and reused by every
+    kernel call.
+    """
+
+    __slots__ = (
+        "ws", "pad", "interior", "c", "c_up", "c_down", "c_left", "c_right",
+        "out", "out_flat", "t0", "t1", "t2", "t2_flat",
+        "c1", "c2", "o1", "o2", "tr",
+        "top_ghost", "top_row", "bot_ghost", "bot_row",
+        "left_ghost", "left_src", "right_ghost", "right_src",
+    )
+
+    def __init__(self, ws: _StripWorkspace, j: int) -> None:
+        pad = ws.pad[:j]
+        self.ws = ws
+        self.pad = pad
+        self.interior = pad[:, :, 1:-1, 1:-1]
+        self.c = self.interior
+        self.c_up = pad[:, :, :-2, 1:-1]
+        self.c_down = pad[:, :, 2:, 1:-1]
+        self.c_left = pad[:, :, 1:-1, :-2]
+        self.c_right = pad[:, :, 1:-1, 2:]
+        self.out = ws.out[:j]
+        self.out_flat = self.out.reshape(j, -1)
+        self.t0 = ws.t0[:j]
+        self.t1 = ws.t1[:j]
+        self.t2 = ws.t2[:j]
+        self.t2_flat = self.t2.reshape(j, -1)
+        self.c1 = self.c[:, 0]
+        self.c2 = self.c[:, 1]
+        self.o1 = self.out[:, 0]
+        self.o2 = self.out[:, 1]
+        self.tr = self.t2[:, 0]
+        self.top_ghost = [pad[i, :, 0, 1:-1] for i in range(j)]
+        self.top_row = [pad[i, :, 1, 1:-1] for i in range(j)]
+        self.bot_ghost = [pad[i, :, -1, 1:-1] for i in range(j)]
+        self.bot_row = [pad[i, :, -2, 1:-1] for i in range(j)]
+        self.left_ghost = pad[:, :, 1:-1, 0]
+        self.left_src = pad[:, :, 1:-1, 2]
+        self.right_ghost = pad[:, :, 1:-1, -1]
+        self.right_src = pad[:, :, 1:-1, -3]
+
+
+def _fill_ghosts(
+    v: _WsViews,
+    halos_top: Sequence[Optional[np.ndarray]],
+    halos_bottom: Sequence[Optional[np.ndarray]],
+) -> None:
+    """Fill the ghost frame of the padded stack (interior already written).
+
+    Vertical ghosts are per member: the received halo row, or -- at a
+    physical boundary -- the mirror of the member's own edge row, which
+    *is* the zero-flux condition: the boundary face flux
+    ``kv_half * (c_edge - ghost)`` vanishes identically because ghost
+    equals the edge row.  Horizontal ghosts mirror across the edge
+    nodes (node-mirror stencil), stack-wide.
+
+    Halo-backed ghost rows are skipped when the slot already holds that
+    exact array's bytes (halo arrays are immutable by contract: every
+    payload is a fresh copy).  Mirror ghosts depend on the interior and
+    are refreshed every call.
+    """
+    last_top = v.ws.last_top
+    last_bot = v.ws.last_bot
+    for i, halo in enumerate(halos_top):
+        if halo is None:
+            np.copyto(v.top_ghost[i], v.top_row[i])
+            last_top[i] = None
+        elif halo is not last_top[i]:
+            np.copyto(v.top_ghost[i], halo)
+            last_top[i] = halo
+    for i, halo in enumerate(halos_bottom):
+        if halo is None:
+            np.copyto(v.bot_ghost[i], v.bot_row[i])
+            last_bot[i] = None
+        elif halo is not last_bot[i]:
+            np.copyto(v.bot_ghost[i], halo)
+            last_bot[i] = halo
+    np.copyto(v.left_ghost, v.left_src)
+    np.copyto(v.right_ghost, v.right_src)
+
+
+def _strip_rhs_kernel(
+    v: _WsViews,
+    kva: np.ndarray,
+    kvb: np.ndarray,
+    kctr: np.ndarray,
+    cl: float,
+    cr: float,
+    r3term: np.ndarray,
+    r4: np.ndarray,
+    paper_signs: bool,
+) -> np.ndarray:
+    """Transport + reaction on the ghost-filled pad; returns ``v.out``.
+
+    ``kva``/``kvb`` are the interface diffusivities already divided by
+    ``dz**2`` and ``kctr`` the combined centre coefficient
+    ``-2 Kh/dx^2 - kva - kvb``, all shaped ``(j, 1, rows, 1)``;
+    ``cl``/``cr`` are the combined horizontal advection-diffusion
+    neighbour weights; ``r3term`` is ``2 q3 c3`` and ``r4`` the
+    photolysis rate, both ``(j, 1, 1)``.  Every step is an in-place
+    ufunc on precomputed workspace views -- the kernel allocates and
+    slices nothing, and element-wise ops make the result per-member
+    bit-identical for any batch width.
+    """
+    c = v.c
+    out = v.out
+    t1 = v.t1
+    t2 = v.t2
+
+    # Transport: kva c_down + kvb c_up + kctr c + cl c_left + cr c_right
+    # (the centre terms of vertical diffusion and horizontal diffusion
+    # are folded into the precomputed kctr).
+    np.multiply(v.c_down, kva, out=out)
+    np.multiply(v.c_up, kvb, out=t2)
+    np.add(out, t2, out=out)
+    np.multiply(c, kctr, out=t2)
+    np.add(out, t2, out=out)
+    np.multiply(v.c_left, cl, out=t2)
+    np.add(out, t2, out=out)
+    np.multiply(v.c_right, cr, out=t2)
+    np.add(out, t2, out=out)
+    # Reaction terms R1, R2 of Eq. (8).
+    c1 = v.c1
+    c2 = v.c2
+    o1 = v.o1
+    o2 = v.o2
+    t0 = v.t0
+    tr = v.tr
+    np.multiply(c1, c2, out=t0)
+    np.multiply(t0, Q2, out=t0)          # t0 = q2 c1 c2
+    np.multiply(c2, r4, out=t1)          # t1 = q4 c2
+    np.multiply(c1, _Q1C3, out=tr)       # tr = q1 c3 c1
+    if paper_signs:
+        np.subtract(t1, t0, out=t1)      # t1 = q4 c2 - q2 c1 c2 (shared)
+        np.add(o1, t1, out=o1)
+        np.subtract(o1, tr, out=o1)
+        np.add(o1, r3term, out=o1)
+        np.add(o2, t1, out=o2)
+        np.add(o2, tr, out=o2)
+    else:  # the physically standard sign (ozone consumed by photolysis)
+        np.subtract(o1, tr, out=o1)
+        np.add(o2, tr, out=o2)
+        np.subtract(o1, t0, out=o1)
+        np.subtract(o2, t0, out=o2)
+        np.add(o1, t1, out=o1)
+        np.subtract(o2, t1, out=o2)
+        np.add(o1, r3term, out=o1)
+    return out
+
+
 class ChemicalProblem:
     """Grid, right-hand side and sequential reference solver."""
 
@@ -140,6 +350,43 @@ class ChemicalProblem:
         # Diffusivity at the vertical interfaces z_{g+1/2}, g = -1..nz-1.
         z_half = np.concatenate(([self.z[0] - self.dz / 2.0], self.z + self.dz / 2.0))
         self.kv_half = kv(z_half)
+        # Precomputed stencil coefficients of the batched RHS kernel:
+        # interface diffusivities pre-divided by dz^2 and the combined
+        # horizontal weights cl*c_left + cr*c_right + cc*c.
+        dz2 = self.dz**2
+        self._kva_scaled = self.kv_half[1:] / dz2   # rows g: interface above
+        self._kvb_scaled = self.kv_half[:-1] / dz2  # rows g: interface below
+        hd = KH / self.dx**2
+        ad = V_ADV / (2.0 * self.dx)
+        self._cl = hd - ad
+        self._cr = hd + ad
+        # Combined centre coefficient (vertical + horizontal diffusion),
+        # full z extent -- strips slice it, which keeps strip and
+        # full-grid evaluations bitwise identical.
+        self._kctr = -2.0 * hd - self._kva_scaled - self._kvb_scaled
+        self._tls: Optional[threading.local] = None
+        # Transport diagonal of dG/dy per strip geometry -- depends only
+        # on (z_lo, rows, physical_top, physical_bottom), not on the
+        # state or the time, so it is computed once per geometry.
+        self._diag_transport: Dict[Tuple[int, int, bool, bool], np.ndarray] = {}
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_tls"] = None  # thread-local workspaces never travel
+        return state
+
+    def _workspace(self, k: int, rows: int) -> _StripWorkspace:
+        """A per-thread cached workspace covering width ``k``."""
+        tls = self._tls
+        if tls is None:
+            tls = self._tls = threading.local()
+        cache: Dict[int, _StripWorkspace] = getattr(tls, "cache", None)
+        if cache is None:
+            cache = tls.cache = {}
+        ws = cache.get(rows)
+        if ws is None or ws.k < k:
+            ws = cache[rows] = _StripWorkspace(k, rows, self.config.nx)
+        return ws
 
     # ------------------------------------------------------------------
     # state
@@ -198,31 +445,31 @@ class ChemicalProblem:
         ``halo_top`` is the row at global index ``z_lo - 1`` (``None``
         at the physical boundary -> zero-flux mirror), ``halo_bottom``
         the row at ``z_lo + rows``.  ``c`` has shape ``(2, rows, nx)``.
+
+        The mirror ghost *is* the zero-flux boundary condition: with
+        ghost == edge row the boundary interface flux
+        ``kv_half * (c_edge - ghost)`` is identically zero, so no
+        separate boundary correction term exists (an earlier revision
+        carried one; it provably added zero and was removed -- the
+        flux-conservation test pins the property down).
         """
         cfg = self.config
         rows = c.shape[1]
         if c.shape != (2, rows, cfg.nx):
             raise ValueError(f"bad strip shape {c.shape}")
-        # --- vertical neighbours (halo or mirror) --------------------
-        top = c[:, 0, :] if halo_top is None else halo_top
-        bottom = c[:, -1, :] if halo_bottom is None else halo_bottom
-        c_up = np.concatenate([top[:, None, :], c[:, :-1, :]], axis=1)     # row g-1
-        c_down = np.concatenate([c[:, 1:, :], bottom[:, None, :]], axis=1)  # row g+1
-        # Interface diffusivities for rows z_lo .. z_lo+rows-1.
-        kv_above = self.kv_half[z_lo + 1 : z_lo + 1 + rows][None, :, None]
-        kv_below = self.kv_half[z_lo : z_lo + rows][None, :, None]
-        vertical = (kv_above * (c_down - c) - kv_below * (c - c_up)) / self.dz**2
-        # Zero-flux at the physical boundaries: cancel the one-sided flux.
-        if halo_top is None and z_lo == 0:
-            vertical[:, 0, :] += (self.kv_half[0] / self.dz**2) * (c[:, 0, :] - top)
-        if halo_bottom is None and z_lo + rows == cfg.nz:
-            vertical[:, -1, :] -= (self.kv_half[cfg.nz] / self.dz**2) * (bottom - c[:, -1, :])
-        # --- horizontal advection-diffusion (mirror boundaries) ------
-        c_left = np.concatenate([c[:, :, 1:2], c[:, :, :-1]], axis=2)
-        c_right = np.concatenate([c[:, :, 1:], c[:, :, -2:-1]], axis=2)
-        horizontal = KH * (c_left - 2.0 * c + c_right) / self.dx**2
-        horizontal += V_ADV * (c_right - c_left) / (2.0 * self.dx)
-        return vertical + horizontal + self.reaction(c, t)
+        v = self._workspace(1, rows).views(1)
+        v.interior[0] = c
+        _fill_ghosts(v, (halo_top,), (halo_bottom,))
+        kva = self._kva_scaled[z_lo : z_lo + rows].reshape(1, 1, rows, 1)
+        kvb = self._kvb_scaled[z_lo : z_lo + rows].reshape(1, 1, rows, 1)
+        kctr = self._kctr[z_lo : z_lo + rows].reshape(1, 1, rows, 1)
+        r3term = np.array(2.0 * C3 * q3(t)).reshape(1, 1, 1)
+        r4 = np.array(q4(t)).reshape(1, 1, 1)
+        out = _strip_rhs_kernel(
+            v, kva, kvb, kctr, self._cl, self._cr,
+            r3term, r4, cfg.paper_reaction_signs,
+        )
+        return out[0].copy()
 
     def rhs(self, c: np.ndarray, t: float) -> np.ndarray:
         """``f`` on the full grid."""
@@ -252,25 +499,37 @@ class ChemicalProblem:
         rows = c.shape[1]
         c1, c2 = c[0], c[1]
         r4 = q4(t)
-        # Reaction self-derivatives dR_i/dc_i.
-        jac1 = -Q1 * C3 - Q2 * c2
-        if cfg.paper_reaction_signs:
-            jac2 = -Q2 * c1 + r4
-        else:
-            jac2 = -Q2 * c1 - r4
-        # Transport diagonals (mirror boundaries keep the -2 in x).
-        kv_above = self.kv_half[z_lo + 1 : z_lo + 1 + rows].copy()
-        kv_below = self.kv_half[z_lo : z_lo + rows].copy()
-        if physical_top:
-            kv_below[0] = 0.0
-        if physical_bottom:
-            kv_above[-1] = 0.0
-        transport = -2.0 * KH / self.dx**2 - (kv_above + kv_below)[None, :, None] / self.dz**2
+        key = (z_lo, rows, physical_top, physical_bottom)
+        transport = self._diag_transport.get(key)
+        if transport is None:
+            # Transport diagonals (mirror boundaries keep the -2 in x).
+            kv_above = self.kv_half[z_lo + 1 : z_lo + 1 + rows].copy()
+            kv_below = self.kv_half[z_lo : z_lo + rows].copy()
+            if physical_top:
+                kv_below[0] = 0.0
+            if physical_bottom:
+                kv_above[-1] = 0.0
+            transport = (
+                -2.0 * KH / self.dx**2
+                - (kv_above + kv_below)[None, :, None] / self.dz**2
+            )
+            self._diag_transport[key] = transport
+        # Reaction self-derivatives dR_i/dc_i, built in place.  The
+        # reassociations are all bitwise-exact in IEEE arithmetic:
+        # ``a - b == (-b) + a`` and ``-(q*c) == (-q)*c``.
         diag_f = np.empty_like(c)
-        diag_f[0] = jac1
-        diag_f[1] = jac2
+        np.multiply(c2, -Q2, out=diag_f[0])
+        diag_f[0] += -Q1 * C3
+        np.multiply(c1, -Q2, out=diag_f[1])
+        if cfg.paper_reaction_signs:
+            diag_f[1] += r4
+        else:
+            diag_f[1] -= r4
         diag_f += transport
-        return (1.0 - cfg.dt * diag_f).ravel()
+        # 1 - dt*diag_f, in place (== (-dt)*diag_f + 1 bitwise).
+        diag_f *= -cfg.dt
+        diag_f += 1.0
+        return diag_f.ravel()
 
     # ------------------------------------------------------------------
     # sequential reference solver
@@ -323,6 +582,275 @@ class ChemicalProblem:
         return ChemicalLocal(self, rank, size)
 
 
+class _StripBatch:
+    """Stacked ``g_scaled`` evaluation context for ``k`` strip members.
+
+    Holds the per-member constants of one Newton update -- previous
+    state, scale vector, interface diffusivities, halos, photolysis
+    rates -- stacked along a leading axis, plus a cached workspace.
+    :meth:`eval` evaluates the scaled implicit-Euler residual
+    ``Ghat(u) = (y - y_prev - dt f(y)) / s`` with ``y = y_prev + s u``
+    for any active subset of members in one kernel call.
+    """
+
+    def __init__(
+        self,
+        problem: ChemicalProblem,
+        rows: int,
+        members: Sequence[Tuple[np.ndarray, np.ndarray, int,
+                                Optional[np.ndarray], Optional[np.ndarray], float]],
+    ) -> None:
+        cfg = problem.config
+        k = len(members)
+        self.rows = rows
+        self.nx = cfg.nx
+        self.dt = cfg.dt
+        self.paper_signs = cfg.paper_reaction_signs
+        self.cl = problem._cl
+        self.cr = problem._cr
+        if k == 1:
+            # Hot scalar path: views, no stacking.
+            yp, sc, z_lo, _, _, t = members[0]
+            self.y_prev = yp[None]
+            self.scale = sc[None]
+            self.kva = problem._kva_scaled[z_lo : z_lo + rows][None, None, :, None]
+            self.kvb = problem._kvb_scaled[z_lo : z_lo + rows][None, None, :, None]
+            self.kctr = problem._kctr[z_lo : z_lo + rows][None, None, :, None]
+            self.r3term = np.array(2.0 * C3 * q3(t)).reshape(1, 1, 1)
+            self.r4 = np.array(q4(t)).reshape(1, 1, 1)
+        else:
+            self.y_prev = np.stack([m[0] for m in members])
+            self.scale = np.stack([m[1] for m in members])
+            self.kva = np.stack(
+                [problem._kva_scaled[m[2] : m[2] + rows] for m in members]
+            )[:, None, :, None]
+            self.kvb = np.stack(
+                [problem._kvb_scaled[m[2] : m[2] + rows] for m in members]
+            )[:, None, :, None]
+            self.kctr = np.stack(
+                [problem._kctr[m[2] : m[2] + rows] for m in members]
+            )[:, None, :, None]
+            self.r3term = np.array(
+                [2.0 * C3 * q3(m[5]) for m in members]
+            ).reshape(k, 1, 1)
+            self.r4 = np.array([q4(m[5]) for m in members]).reshape(k, 1, 1)
+        self.halos_top = [m[3] for m in members]
+        self.halos_bottom = [m[4] for m in members]
+        self.ws = problem._workspace(k, rows)
+        self.views1 = self.ws.views(1) if k == 1 else None
+
+    def eval(self, idx: np.ndarray, y_stack: np.ndarray) -> np.ndarray:
+        """``Ghat`` rows for members ``idx`` at y-space points ``(j, n)``."""
+        j = len(idx)
+        y_prev = self.y_prev[idx]
+        v = self.ws.views(j)
+        v.interior[...] = y_stack.reshape(j, 2, self.rows, self.nx)
+        _fill_ghosts(
+            v,
+            [self.halos_top[i] for i in idx],
+            [self.halos_bottom[i] for i in idx],
+        )
+        _strip_rhs_kernel(
+            v, self.kva[idx], self.kvb[idx], self.kctr[idx],
+            self.cl, self.cr,
+            self.r3term[idx], self.r4[idx], self.paper_signs,
+        )
+        # res = (y - y_prev - dt f(y)) / s, built in place on a fresh
+        # array: callers own the result (it may outlive the workspace).
+        res = y_stack - y_prev
+        np.multiply(v.out_flat, self.dt, out=v.t2_flat)
+        res -= v.t2_flat
+        res /= self.scale[idx]
+        return res
+
+    def eval1(self, y: np.ndarray) -> np.ndarray:
+        """Width-1 fast path of :meth:`eval` (views, no fancy indexing).
+
+        Elementwise arithmetic is identical to ``eval([0], y[None])``,
+        so scalar and batched pumping stay bit-identical.
+        """
+        v = self.views1
+        v.interior[0] = y.reshape(2, self.rows, self.nx)
+        _fill_ghosts(v, (self.halos_top[0],), (self.halos_bottom[0],))
+        _strip_rhs_kernel(
+            v, self.kva, self.kvb, self.kctr, self.cl, self.cr,
+            self.r3term, self.r4, self.paper_signs,
+        )
+        res = y - self.y_prev[0]
+        np.multiply(v.out_flat[0], self.dt, out=v.t2_flat[0])
+        res -= v.t2_flat[0]
+        res /= self.scale[0]
+        return res
+
+
+def scaled_newton_gen(
+    problem: "ChemicalProblem",
+    cfg: "ChemicalConfig",
+    y_flat: np.ndarray,
+    y_prev: np.ndarray,
+    t_new: float,
+    z_lo: int,
+    rows: int,
+    halo_top: Optional[np.ndarray],
+    halo_bottom: Optional[np.ndarray],
+    scale: np.ndarray,
+    fu0: Optional[np.ndarray] = None,
+):
+    """One Newton linearisation + GMRES correction as a generator.
+
+    The implicit-Euler residual ``G(y) = y - y_prev - dt f(y)`` is
+    transformed with ``y = y_prev + S u`` and ``Ghat(u) = G(y)/s``
+    (``S = diag(s)``, ``s = rtol |y_prev| + atol``).  All components of
+    ``u`` and ``Ghat`` are then O(1), which keeps the finite-difference
+    Jacobian-vector products accurate despite the 8-orders-of-magnitude
+    spread between the two species.  The linear solve is additionally
+    right-preconditioned with the analytic diagonal of ``dG/dy``
+    (:meth:`ChemicalProblem.g_diag_strip`), which absorbs the
+    photochemical stiffness of c1.
+
+    Every ``yield p`` asks the driver for ``Ghat`` at the *unscaled*
+    state ``p``; each yield is one function evaluation.  The driver may
+    evaluate many generators' points in one stacked kernel call
+    (:class:`_StripBatch`) -- all per-member bookkeeping (norms, dots,
+    rotations) happens *here*, so scalar and batched drivers execute
+    identical arithmetic.  Returns ``(y_new, info)`` via
+    ``StopIteration``.
+
+    ``fu0`` is an optional precomputed ``Ghat(y_flat)``: the previous
+    Newton update finished with exactly that evaluation, so when
+    neither the state nor the halos changed since, the driver passes
+    it in and the host-side evaluation is skipped.  Like the
+    memoization in :class:`ChemicalLocal`, this is purely a host
+    optimization: the evaluation is still *charged* (``fevals``
+    counts it), so simulated flops -- and therefore every counter of
+    the run -- are bit-identical with and without the carry.
+    """
+    physical_top = z_lo == 0
+    physical_bottom = z_lo + rows == cfg.nz
+    if fu0 is None:
+        fu = yield y_flat
+    else:
+        fu = fu0
+    fevals = 1
+    scaled_res_before = math.sqrt(float(np.dot(fu, fu)) / fu.size)
+    info: Dict[str, Any] = {
+        "gmres_iterations": 0,
+        "function_evaluations": fevals,
+        "scaled_residual_before": scaled_res_before,
+        "scaled_residual_after": scaled_res_before,
+        "early_exit": False,
+        "_fu": None,
+    }
+    if scaled_res_before < cfg.newton_tol * 1e-2:
+        # Already at the solution: skip the linear solve entirely (the
+        # AIAC workers keep iterating after local convergence).
+        info["early_exit"] = True
+        info["_fu"] = fu
+        return y_flat.copy(), info
+
+    # Diagonal preconditioner in scaled space: W (dG/dy)_diag S has the
+    # same diagonal as dG/dy because the scalings cancel entrywise.
+    diag = problem.g_diag_strip(
+        y_flat.reshape((2, rows, cfg.nx)),
+        t_new, z_lo, physical_top, physical_bottom,
+    )
+    un = (y_flat - y_prev) / scale
+    u_norm = math.sqrt(float(np.dot(un, un)))
+    lin_gen = gmres_gen(
+        -fu, tol=cfg.gmres_tol, restart=cfg.gmres_restart,
+        max_iterations=cfg.gmres_max_iterations,
+    )
+    try:
+        v = next(lin_gen)
+        while True:
+            # Right-preconditioned FD Jacobian action: A v = J (v/diag),
+            # J w ~ (Ghat(u + e w) - Ghat(u)) / e, evaluated at the
+            # unscaled point y + e (s * w).  A zero direction
+            # short-circuits to zeros without an evaluation, exactly as
+            # fd_jacobian_operator does.
+            vp = v / diag
+            v_norm = math.sqrt(float(np.dot(vp, vp)))
+            if v_norm == 0.0:
+                av = vp  # already all zeros
+            else:
+                e = fd_epsilon(u_norm, v_norm)
+                # vp is ours: finish the step in place (scale, then
+                # perturb off y); gu is a fresh evaluation result, so
+                # the difference quotient can reuse it too.
+                vp *= scale
+                vp *= e
+                vp += y_flat
+                gu = yield vp
+                fevals += 1
+                np.subtract(gu, fu, out=gu)
+                gu /= e
+                av = gu
+            v = lin_gen.send(av)
+    except StopIteration as stop:
+        lin = stop.value
+    du = scale * (lin.x / diag)
+    y_new = y_flat + du
+    fu_new = yield y_new
+    fevals += 1
+    scaled_res_after = math.sqrt(float(np.dot(fu_new, fu_new)) / fu_new.size)
+    info.update(
+        gmres_iterations=lin.iterations,
+        function_evaluations=fevals,
+        scaled_residual_after=scaled_res_after,
+        _fu=fu_new,
+    )
+    return y_new, info
+
+
+def _pump_one(gen, batch: _StripBatch):
+    """Drive a single Newton generator against a one-member evaluator."""
+    try:
+        point = next(gen)
+        while True:
+            point = gen.send(batch.eval1(point))
+    except StopIteration as stop:
+        return stop.value
+
+
+def _pump_newton(gens: List, batch: _StripBatch) -> List:
+    """Drive ``k`` Newton generators against one stacked evaluator.
+
+    Each round stacks the points every still-active generator asked
+    for, evaluates them in one kernel call and distributes the rows
+    back.  Members finish independently (early exit, different GMRES
+    iteration counts); the returned list preserves input order.
+    """
+    k = len(gens)
+    if k == 1:
+        return [_pump_one(gens[0], batch)]
+    results: List = [None] * k
+    active: List[Tuple[int, object]] = []
+    points: List[np.ndarray] = []
+    for i, gen in enumerate(gens):
+        try:
+            points.append(next(gen))
+            active.append((i, gen))
+        except StopIteration as stop:
+            # Reachable: a generator primed with a carried residual may
+            # early-exit before asking for any evaluation.
+            results[i] = stop.value
+    while active:
+        idx = np.fromiter((i for i, _ in active), dtype=np.intp, count=len(active))
+        g_stack = batch.eval(idx, np.stack(points))
+        next_active: List[Tuple[int, object]] = []
+        next_points: List[np.ndarray] = []
+        for row, (i, gen) in enumerate(active):
+            try:
+                # g_stack is freshly allocated by eval(), so its rows
+                # can be handed out without copying.
+                next_points.append(gen.send(g_stack[row]))
+                next_active.append((i, gen))
+            except StopIteration as stop:
+                results[i] = stop.value
+        active, points = next_active, next_points
+    return results
+
+
 def scaled_newton_update(
     problem: "ChemicalProblem",
     cfg: "ChemicalConfig",
@@ -337,73 +865,19 @@ def scaled_newton_update(
 ) -> Tuple[np.ndarray, Dict[str, float]]:
     """One Newton linearisation + GMRES correction, in scaled variables.
 
-    The implicit-Euler residual ``G(y) = y - y_prev - dt f(y)`` is
-    transformed with ``y = y_prev + S u`` and ``Ghat(u) = G(y)/s``
-    (``S = diag(s)``, ``s = rtol |y_prev| + atol``).  All components of
-    ``u`` and ``Ghat`` are then O(1), which keeps the finite-difference
-    Jacobian-vector products accurate despite the 8-orders-of-magnitude
-    spread between the two species.  The linear solve is additionally
-    right-preconditioned with the analytic diagonal of ``dG/dy``
-    (:meth:`ChemicalProblem.g_diag_strip`), which absorbs the
-    photochemical stiffness of c1.
-
-    Returns the updated (unscaled) state and an info dict with the
-    evaluation counts used for flop accounting.
+    The scalar entry point: pumps :func:`scaled_newton_gen` against a
+    one-member :class:`_StripBatch`, i.e. the ``k = 1`` case of the
+    batched path.  Returns the updated (unscaled) state and an info
+    dict with the evaluation counts used for flop accounting.
     """
-    nx = cfg.nx
-    physical_top = z_lo == 0
-    physical_bottom = z_lo + rows == cfg.nz
-    fevals = [0]
-
-    def g_scaled(u: np.ndarray) -> np.ndarray:
-        fevals[0] += 1
-        y = y_prev + scale * u
-        f = problem.rhs_strip(
-            y.reshape((2, rows, nx)), t_new, z_lo, halo_top, halo_bottom
-        )
-        return (y - y_prev - cfg.dt * f.ravel()) / scale
-
-    u = (y_flat - y_prev) / scale
-    fu = g_scaled(u)
-    scaled_res_before = float(np.sqrt(np.mean(fu * fu)))
-    info: Dict[str, float] = {
-        "gmres_iterations": 0,
-        "function_evaluations": fevals[0],
-        "scaled_residual_before": scaled_res_before,
-        "scaled_residual_after": scaled_res_before,
-    }
-    if scaled_res_before < cfg.newton_tol * 1e-2:
-        # Already at the solution: skip the linear solve entirely (the
-        # AIAC workers keep iterating after local convergence).
-        info["function_evaluations"] = fevals[0]
-        return y_flat.copy(), info
-
-    # Diagonal preconditioner in scaled space: W (dG/dy)_diag S has the
-    # same diagonal as dG/dy because the scalings cancel entrywise.
-    diag = problem.g_diag_strip(
-        (y_prev + scale * u).reshape((2, rows, nx)),
-        t_new, z_lo, physical_top, physical_bottom,
+    batch = _StripBatch(
+        problem, rows, [(y_prev, scale, z_lo, halo_top, halo_bottom, t_new)]
     )
-    jac = fd_jacobian_operator(g_scaled, u, fu)
-
-    def preconditioned(v: np.ndarray) -> np.ndarray:
-        return jac(v / diag)
-
-    lin = gmres(
-        preconditioned, -fu,
-        tol=cfg.gmres_tol, restart=cfg.gmres_restart,
-        max_iterations=cfg.gmres_max_iterations,
+    gen = scaled_newton_gen(
+        problem, cfg, y_flat, y_prev, t_new,
+        z_lo, rows, halo_top, halo_bottom, scale,
     )
-    du = lin.x / diag
-    u_new = u + du
-    fu_new = g_scaled(u_new)
-    scaled_res_after = float(np.sqrt(np.mean(fu_new * fu_new)))
-    info.update(
-        gmres_iterations=lin.iterations,
-        function_evaluations=fevals[0],
-        scaled_residual_after=scaled_res_after,
-    )
-    return y_prev + scale * u_new, info
+    return _pump_newton([gen], batch)[0]
 
 
 class ChemicalLocal(SteppedLocalSolver):
@@ -416,6 +890,13 @@ class ChemicalLocal(SteppedLocalSolver):
     residual with the halo rows frozen at their last received values --
     this is why "the process actually continues to evolve between data
     receptions" in the non-linear case (Section 5.1).
+
+    :meth:`iterate` is the width-1 case of :meth:`iterate_batch`, which
+    advances many compatible strips (same config and row count -- see
+    :attr:`batch_key`) through one Newton update with every RHS
+    evaluation stacked into a single kernel call.  The batched engine
+    mode and the sweep mega-run group parked solvers by
+    :attr:`batch_key` and call :meth:`iterate_batch` directly.
     """
 
     def __init__(self, problem: ChemicalProblem, rank: int, size: int) -> None:
@@ -437,13 +918,39 @@ class ChemicalLocal(SteppedLocalSolver):
         self._scale = np.ones_like(self._y_prev)
         self._t_new = cfg.t0
         self._atol = problem.atol_vector(self.rows)
+        self._batch1: Optional[_StripBatch] = None
+        # Memoization of converged spins: an early-exit Newton result is
+        # a pure function of (halos, state, step constants), so while a
+        # converged worker keeps iterating without new receptions the
+        # cached outcome is bit-identical to recomputing it.  Simulated
+        # flops are still charged in full -- the cache only removes
+        # host-side work, never changes any counter or payload.
+        self._halo_rev = 0
+        self._state_rev = 0
+        self._cache_key: Optional[Tuple[int, int]] = None
+        self._cache_li: Optional[LocalIteration] = None
+        # Residual carry-over: the final evaluation of a full Newton
+        # update doubles as the next iterate's initial residual while
+        # (halos, state) stay unchanged.
+        self._fu_carry: Optional[np.ndarray] = None
+        self._fu_key: Optional[Tuple[int, int]] = None
         self.step = -1
         self.inner_iterations = 0
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_batch1"] = None  # rebuilt lazily; keeps pickles lean
+        return state
 
     # ------------------------------------------------------------------
     @property
     def n_steps(self) -> int:
         return self.problem.config.n_steps
+
+    @property
+    def batch_key(self) -> Tuple:
+        """Solvers sharing this key may ride one :meth:`iterate_batch`."""
+        return ("chemical", self.problem.config, self.rows)
 
     def providers(self) -> Set[int]:
         deps = set()
@@ -471,6 +978,7 @@ class ChemicalLocal(SteppedLocalSolver):
 
     def integrate(self, src: int, payload) -> None:
         src_rank, which, row = payload
+        self._halo_rev += 1
         if src_rank == self.rank - 1 and which == "last_row":
             self.halo_top = row
         elif src_rank == self.rank + 1 and which == "first_row":
@@ -487,30 +995,55 @@ class ChemicalLocal(SteppedLocalSolver):
         self._t_new = cfg.t0 + (step + 1) * cfg.dt
         self._y_prev = self.c.ravel().copy()
         self._scale = cfg.rtol * np.abs(self._y_prev) + self._atol
+        self._batch1 = None   # y_prev/scale/t changed: invalidate
+        self._cache_key = None
+        self._cache_li = None
+        self._fu_carry = None  # Ghat depends on y_prev/scale/t_new
+        self._fu_key = None
 
     def end_step(self, step: int) -> None:
         if step != self.step:
             raise RuntimeError(f"end_step({step}) without begin_step({step})")
 
-    def iterate(self) -> LocalIteration:
-        cfg = self.problem.config
+    def _step_batch(self) -> _StripBatch:
+        """The cached one-member evaluator for the current time step.
+
+        ``y_prev``/``scale``/``t_new`` are step constants, so the batch
+        is built once per step; only the halo references (which change
+        on every reception) are refreshed per iterate.
+        """
+        batch = self._batch1
+        if batch is None:
+            batch = self._batch1 = _StripBatch(
+                self.problem, self.rows,
+                [(self._y_prev, self._scale, self.z_lo,
+                  self.halo_top, self.halo_bottom, self._t_new)],
+            )
+        else:
+            batch.halos_top[0] = self.halo_top
+            batch.halos_bottom[0] = self.halo_bottom
+        return batch
+
+    def _make_gen(self, fu0: Optional[np.ndarray] = None):
+        return scaled_newton_gen(
+            self.problem, self.problem.config, self.c.ravel(), self._y_prev,
+            self._t_new, self.z_lo, self.rows, self.halo_top,
+            self.halo_bottom, self._scale, fu0=fu0,
+        )
+
+    def _finish_iterate(self, outcome) -> LocalIteration:
+        """Turn a Newton-generator result into a :class:`LocalIteration`."""
+        y_new, info = outcome
         y = self.c.ravel()
-        y_new, info = scaled_newton_update(
-            self.problem, cfg, y, self._y_prev, self._t_new,
-            z_lo=self.z_lo, rows=self.rows,
-            halo_top=self.halo_top, halo_bottom=self.halo_bottom,
-            scale=self._scale,
-        )
-        change = float(
-            np.sqrt(np.mean(((y_new - y) / self._scale) ** 2))
-        )
-        self.c = y_new.reshape((2, self.rows, cfg.nx)).copy()
+        d = y_new - y
+        d /= self._scale
+        change = math.sqrt(float(np.dot(d, d)) / d.size)
+        self.c = y_new.reshape((2, self.rows, self.problem.config.nx))
         self.inner_iterations += 1
 
-        rhs_cost = self.problem.rhs_flops(self.rows)
-        n_local = y.size
+        n_local = y_new.size
         flops = (
-            info["function_evaluations"] * rhs_cost
+            info["function_evaluations"] * self.problem.rhs_flops(self.rows)
             + info["gmres_iterations"] * 8.0 * n_local
             + 6.0 * n_local
         )
@@ -524,6 +1057,114 @@ class ChemicalLocal(SteppedLocalSolver):
                 "scaled_newton_residual": info["scaled_residual_after"],
             },
         )
+
+    def _finish_outcome(self, key: Tuple[int, int], outcome) -> LocalIteration:
+        """Record carry/cache state for ``outcome``, then finish it."""
+        fu = outcome[1].pop("_fu", None)
+        if outcome[1]["early_exit"]:
+            # Early exit: the state did not move, so the same inputs
+            # would reproduce this outcome bit-for-bit.  The residual
+            # carry (if any) stays valid for the same reason.
+            self._cache_key = key
+        else:
+            # The state moved: the final evaluation of the update is
+            # exactly the next iterate's initial residual as long as
+            # (halos, state) stay put.
+            self._state_rev += 1
+            self._fu_carry = fu
+            self._fu_key = (self._halo_rev, self._state_rev)
+            self._cache_key = None
+            self._cache_li = None
+        li = self._finish_iterate(outcome)
+        if self._cache_key == key:
+            self._cache_li = li
+        return li
+
+    def _finish_cached(self) -> LocalIteration:
+        """Re-emit the memoized early-exit iteration (bit-identical)."""
+        self.inner_iterations += 1
+        # The cached LocalIteration (payloads, outgoing dict and meta
+        # included) is shared across emissions: consumers only read it
+        # (the workers copy ``meta`` before annotating).
+        return self._cache_li
+
+    def iterate(self) -> LocalIteration:
+        key = (self._halo_rev, self._state_rev)
+        if key == self._cache_key and self._cache_li is not None:
+            return self._finish_cached()
+        fu0 = self._fu_carry if self._fu_key == key else None
+        outcome = _pump_one(self._make_gen(fu0), self._step_batch())
+        return self._finish_outcome(key, outcome)
+
+    @staticmethod
+    def iterate_batch(solvers: Sequence["ChemicalLocal"]) -> List[LocalIteration]:
+        """One Newton update for every solver, RHS evaluations stacked.
+
+        All solvers must share a :attr:`batch_key` (same config, same
+        row count; ``z_lo``, halos and step time may differ -- they are
+        per-member constants of the stacked evaluator).  Per-member
+        arithmetic is bit-identical to ``k`` separate :meth:`iterate`
+        calls; only the kernel invocation count changes.
+        """
+        if len(solvers) == 1:
+            return [solvers[0].iterate()]
+        results: List[Optional[LocalIteration]] = [None] * len(solvers)
+        pending: List[Tuple[int, "ChemicalLocal", Tuple[int, int]]] = []
+        for i, s in enumerate(solvers):
+            key = (s._halo_rev, s._state_rev)
+            if key == s._cache_key and s._cache_li is not None:
+                results[i] = s._finish_cached()
+            else:
+                pending.append((i, s, key))
+        if pending:
+            # Content dedup: members whose solve inputs are bit-equal
+            # share one Newton solve.  Cluster-parameter sweeps hit this
+            # constantly -- every grid point advances the same numerical
+            # trajectory on differently-timed hardware -- and the shared
+            # outcome is bit-identical to recomputing it (the solve is a
+            # deterministic function of these inputs).
+            sig_to_rep: Dict[Tuple, int] = {}
+            assignment: List[int] = []
+            reps: List[Tuple["ChemicalLocal", Optional[np.ndarray]]] = []
+            for _i, s, key in pending:
+                fu0 = s._fu_carry if s._fu_key == key else None
+                sig = (
+                    s.z_lo, s._t_new,
+                    s.c.tobytes(), s._y_prev.tobytes(),
+                    None if s.halo_top is None else s.halo_top.tobytes(),
+                    None if s.halo_bottom is None else s.halo_bottom.tobytes(),
+                    None if fu0 is None else fu0.tobytes(),
+                )
+                rep = sig_to_rep.get(sig)
+                if rep is None:
+                    rep = sig_to_rep[sig] = len(reps)
+                    reps.append((s, fu0))
+                assignment.append(rep)
+            first = reps[0][0]
+            batch = _StripBatch(
+                first.problem, first.rows,
+                [(s._y_prev, s._scale, s.z_lo, s.halo_top, s.halo_bottom,
+                  s._t_new) for s, _ in reps],
+            )
+            gens = [s._make_gen(fu0) for s, fu0 in reps]
+            solved = _pump_newton(gens, batch)
+            uses = [0] * len(reps)
+            for rep in assignment:
+                uses[rep] += 1
+            for (i, s, key), rep in zip(pending, assignment):
+                y_new, info = solved[rep]
+                uses[rep] -= 1
+                if uses[rep] > 0:
+                    # More consumers follow: hand this one copies (each
+                    # ``_finish_outcome`` consumes its dict and keeps
+                    # references to the arrays).
+                    fu = info.get("_fu")
+                    info = dict(info)
+                    if fu is not None:
+                        info["_fu"] = fu.copy()
+                    y_new = y_new.copy()
+                results[i] = s._finish_outcome(key, (y_new, info))
+        return results
 
     def local_solution(self) -> np.ndarray:
         return self.c.ravel().copy()
@@ -544,6 +1185,8 @@ __all__ = [
     "ChemicalLocal",
     "PAPER_CHEMICAL",
     "make_chemical_problem",
+    "scaled_newton_gen",
+    "scaled_newton_update",
     "kv",
     "q3",
     "q4",

@@ -133,6 +133,11 @@ def _interpret(
                 return
             if isinstance(effect, fx.Now):
                 value = time.monotonic() - start
+            elif isinstance(effect, fx.Iterate):
+                # Real-concurrency backends always iterate inline: each
+                # rank owns a thread/process, so there is no tick to
+                # stack across (the wall clock charges the time).
+                value = effect.solver.iterate()
             elif isinstance(effect, fx.Compute):
                 # The flops already ran, in real time, between the
                 # previous resume and this yield: that span is the

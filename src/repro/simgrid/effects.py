@@ -29,7 +29,7 @@ class Effect:
     __slots__ = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class Compute(Effect):
     """Charge ``flops`` of computation to the calling process's host.
 
@@ -42,7 +42,7 @@ class Compute(Effect):
     label: str = "compute"
 
 
-@dataclass
+@dataclass(slots=True)
 class Sleep(Effect):
     """Advance time by ``seconds`` without doing work (idle span)."""
 
@@ -108,7 +108,7 @@ class SendHandle:
             self._sender_callbacks.append(callback)
 
 
-@dataclass
+@dataclass(slots=True)
 class Send(Effect):
     """Asynchronously send ``payload`` to rank ``dest``.
 
@@ -124,7 +124,24 @@ class Send(Effect):
     size: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
+class Iterate(Effect):
+    """Run one local-solver iteration (host-side numerics).
+
+    Resumes with the solver's ``LocalIteration``.  The default (scalar)
+    interpreters call ``solver.iterate()`` inline, so the effect is
+    just an annotated function call.  A simulator world carrying a
+    :class:`~repro.simgrid.batch.ComputeBatcher` instead *parks* the
+    process and evaluates every iteration requested at the same virtual
+    tick in one stacked call (``solver.iterate_batch``), grouped by
+    ``solver.batch_key`` -- bit-identical per member, so scalar and
+    batched runs produce the same counters and solutions.
+    """
+
+    solver: Any
+
+
+@dataclass(slots=True)
 class Drain(Effect):
     """Collect every message currently *visible* to this rank.
 
@@ -138,7 +155,7 @@ class Drain(Effect):
     tag: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Recv(Effect):
     """Block until at least one message with ``tag`` is visible.
 
@@ -154,7 +171,7 @@ class Recv(Effect):
     timeout: Optional[float] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Barrier(Effect):
     """Synchronise with all other ranks of the run.
 
@@ -165,12 +182,12 @@ class Barrier(Effect):
     label: str = "barrier"
 
 
-@dataclass
+@dataclass(slots=True)
 class Now(Effect):
     """Resume immediately with the current (virtual or wall) time."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Trace(Effect):
     """Record an application-level trace marker (iteration start...)."""
 
@@ -185,6 +202,7 @@ __all__ = [
     "Send",
     "SendHandle",
     "Drain",
+    "Iterate",
     "Recv",
     "Barrier",
     "Now",

@@ -93,6 +93,17 @@ class Engine:
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
+        self._halted = False
+
+    def halt(self) -> None:
+        """Stop the current :meth:`run` after the event being dispatched.
+
+        A cheap flag checked once per event in the hot loops -- callers
+        that need to stop the world from inside a callback (process
+        failure) use this instead of a ``stop_when`` closure, which
+        would cost a Python call per event.
+        """
+        self._halted = True
 
     # ------------------------------------------------------------------
     # introspection
@@ -190,6 +201,7 @@ class Engine:
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
+        self._halted = False
         queue = self._queue
         heappop = heapq.heappop
         processed = 0
@@ -199,7 +211,7 @@ class Engine:
                     # Hot path: no limits.  One tight loop, locals
                     # bound, same-timestamp events dispatched back to
                     # back without re-reading any engine state beyond
-                    # the queue head.
+                    # the queue head and the halt flag.
                     while queue:
                         time, _seq, event = heappop(queue)
                         if event.cancelled:
@@ -207,6 +219,8 @@ class Engine:
                         self._now = time
                         processed += 1
                         event.callback()
+                        if self._halted:
+                            break
                     return self._now
                 # The World.run path: only a stop predicate, checked
                 # after every event (a failure must halt immediately),
@@ -232,6 +246,8 @@ class Engine:
                 self._now = time
                 processed += 1
                 event.callback()
+                if self._halted:
+                    break
                 if stop_when is not None and stop_when():
                     break
                 if max_events is not None and processed >= max_events:

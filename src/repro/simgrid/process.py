@@ -52,6 +52,10 @@ class Process:
         self.busy_time: float = 0.0
         self._blocked_since: float = 0.0
         self._recv_timeout_event = None
+        # Event labels are constant per process; building them once
+        # keeps f-string formatting out of the per-effect hot path.
+        self._compute_label = f"compute[{rank}]"
+        self._sleep_label = f"sleep[{rank}]"
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -91,22 +95,27 @@ class Process:
 
             # Effects that resume immediately are handled in this loop
             # (no engine round-trip); time-consuming ones schedule a
-            # callback and return.
-            if isinstance(effect, fx.Now):
-                value = engine.now
-                continue
-            if isinstance(effect, fx.Trace):
-                self.world.trace.add_marker(self.rank, engine.now, effect.kind, effect.info)
-                value = None
-                continue
+            # callback and return.  The chain is ordered by frequency
+            # in the iterative hot loop: drain, compute, send.
             if isinstance(effect, fx.Drain):
                 value = self.world.transport.mailboxes[self.rank].drain(effect.tag)
                 continue
+            if isinstance(effect, fx.Iterate):
+                batcher = self.world.compute_batcher
+                if batcher is None:
+                    # Scalar mode: the iteration is host-side numerics,
+                    # free in virtual time (the coroutine charges the
+                    # simulated cost with a following Compute).
+                    value = effect.solver.iterate()
+                    continue
+                # Batched mode: park until the batcher evaluates every
+                # same-tick iteration in one stacked call.
+                self.state = ProcessState.BLOCKED
+                self._blocked_since = engine.now
+                batcher.enqueue(self, effect.solver)
+                return
             if isinstance(effect, fx.Compute):
                 self._do_compute(effect)
-                return
-            if isinstance(effect, fx.Sleep):
-                self._do_sleep(effect)
                 return
             if isinstance(effect, fx.Send):
                 handle = self._do_send(effect)
@@ -116,10 +125,20 @@ class Process:
                     return
                 value = handle
                 continue
+            if isinstance(effect, fx.Now):
+                value = engine.now
+                continue
+            if isinstance(effect, fx.Trace):
+                self.world.trace.add_marker(self.rank, engine.now, effect.kind, effect.info)
+                value = None
+                continue
             if isinstance(effect, fx.Recv):
                 if self._try_recv(effect):
                     value = self._recv_value
                     continue
+                return
+            if isinstance(effect, fx.Sleep):
+                self._do_sleep(effect)
                 return
             if isinstance(effect, fx.Barrier):
                 self.state = ProcessState.BLOCKED
@@ -137,7 +156,7 @@ class Process:
         self.busy_time += duration
         start = engine.now
         self.world.trace.add_span(self.rank, start, start + duration, "compute", effect.label)
-        engine.after(duration, lambda: self._advance(None), label=f"compute[{self.rank}]")
+        engine.after(duration, lambda: self._advance(None), label=self._compute_label)
 
     def _do_sleep(self, effect: fx.Sleep) -> None:
         engine = self.world.engine
@@ -146,7 +165,7 @@ class Process:
         self.world.trace.add_span(
             self.rank, engine.now, engine.now + effect.seconds, "idle", effect.label
         )
-        engine.after(effect.seconds, lambda: self._advance(None), label=f"sleep[{self.rank}]")
+        engine.after(effect.seconds, lambda: self._advance(None), label=self._sleep_label)
 
     def _do_send(self, effect: fx.Send) -> fx.SendHandle:
         handle = fx.SendHandle()
@@ -231,6 +250,19 @@ class Process:
         if effect.timeout is not None:
             timeout_event = engine.after(effect.timeout, on_timeout, label="recv-timeout")
         return False
+
+    # Called by the compute batcher with the outcome of a parked Iterate.
+    def iterate_resume(self, result: Any) -> None:
+        self.state = ProcessState.RUNNING
+        self._advance(result)
+
+    def iterate_failed(self, exc: BaseException) -> None:
+        """Batched-iteration failure: mirror the scalar path, where an
+        exception from ``solver.iterate()`` fails the process and
+        leaves the coroutine suspended."""
+        self.state = ProcessState.FAILED
+        self.exception = exc
+        self.world._process_failed(self, exc)
 
     # Called by the barrier manager.
     def barrier_release(self, release_time: float) -> None:

@@ -67,6 +67,11 @@ class World:
         self._finished = 0
         self._failure: Optional[BaseException] = None
         self._failed_process: Optional[Process] = None
+        #: Optional :class:`~repro.simgrid.batch.ComputeBatcher`: when
+        #: set, ``Iterate`` effects park their process and are evaluated
+        #: in stacked groups instead of inline (see
+        #: :mod:`repro.simgrid.batch`).
+        self.compute_batcher: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # setup
@@ -102,12 +107,14 @@ class World:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(
-        self,
-        until: Optional[float] = None,
-        max_events: Optional[int] = None,
-    ) -> float:
-        """Run all processes to completion; returns final virtual time."""
+    def start(self) -> None:
+        """Wire the transport, install faults and start every process.
+
+        The setup half of :meth:`run`, exposed separately so a
+        cross-world coordinator (:func:`repro.simgrid.batch.
+        run_worlds_batched`) can start many worlds and pump their
+        engines itself.
+        """
         if not self.processes:
             raise SimulationError("no processes spawned")
         rank_to_host = {r: p.host.name for r, p in self.processes.items()}
@@ -117,11 +124,13 @@ class World:
             self.faults.install(self)
         for proc in self.processes.values():
             proc.start()
-        end = self.engine.run(
-            until=until,
-            max_events=max_events,
-            stop_when=lambda: self._failure is not None,
-        )
+
+    def finish(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Post-run checks (failure, deadlock); returns final virtual time."""
         if self._failure is not None:
             proc = self._failed_process
             raise ProcessFailure(
@@ -131,7 +140,20 @@ class World:
         if unfinished and until is None and max_events is None:
             names = ", ".join(p.name for p in unfinished)
             raise SimulationError(f"deadlock: processes never finished: {names}")
-        return end
+        return self.engine.now
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run all processes to completion; returns final virtual time."""
+        self.start()
+        # Failures halt the loop via ``engine.halt()`` (a flag the hot
+        # loop checks per event) rather than a ``stop_when`` closure,
+        # which would cost a Python call per event.
+        self.engine.run(until=until, max_events=max_events)
+        return self.finish(until=until, max_events=max_events)
 
     @property
     def results(self) -> Dict[int, Any]:
@@ -156,6 +178,7 @@ class World:
     def _process_failed(self, proc: Process, exc: BaseException) -> None:
         self._failure = exc
         self._failed_process = proc
+        self.engine.halt()
 
     def barrier_arrive(self, proc: Process) -> None:
         self._barrier_waiting.append(proc)
@@ -169,12 +192,15 @@ class World:
 
     def stats(self) -> dict:
         transport_stats = self.transport.stats() if self.transport else {}
-        return {
+        out = {
             "makespan": self.makespan,
             "events": self.engine.events_processed,
             "policy": self.policy.name,
             **transport_stats,
         }
+        if self.compute_batcher is not None:
+            out["batched"] = dict(self.compute_batcher.stats)
+        return out
 
 
 __all__ = ["World", "ProcessFailure"]

@@ -9,6 +9,9 @@ loop (:mod:`repro.sweep.executor`) is placement-agnostic:
   path: it works inside pytest workers, other pools, and is the only
   placement that can host the ``process`` backend (whose per-rank
   children may not be spawned from a daemonic pool worker).
+* ``mega`` -- in-process, whole-grid batched: all buffered units run
+  through one ``SimulatedBackend.run_many`` mega-run with cross-world
+  stacked compute ticks; records are bit-identical to ``local``.
 * ``pool`` -- one OS process per worker slot via the serve layer's
   non-daemonic :class:`~repro.serve.workers.WorkerPool`, with per-unit
   deadline reaping (kill + respawn) in the parent.
@@ -200,6 +203,102 @@ class LocalPlacement(Placement):
             )
 
 
+@register_placement("mega")
+class MegaPlacement(Placement):
+    """Whole-grid batched execution on the simulated backend.
+
+    Instead of running units one at a time, submissions accumulate
+    until the executor's queue drains (capacity stays high), then one
+    :meth:`~repro.api.backends.SimulatedBackend.run_many` call advances
+    *every* buffered scenario side by side with cross-world stacked
+    compute ticks (:func:`repro.simgrid.batch.run_worlds_batched`).
+    Records are bit-identical to the ``local`` placement's -- same
+    makespans, counters and solutions -- the grid just shares kernel
+    work: compatible solver iterations stack into single numpy calls,
+    and bit-equal Newton solves (ubiquitous in cluster-parameter
+    sweeps, where every point advances the same trajectory on
+    differently-timed hardware) are computed once.
+
+    Simulated-backend only: the real-concurrency backends have no
+    virtual tick to stack across, so ``start`` refuses them.  If a
+    batch raises, the placement falls back to per-unit runs so errors
+    are attributed to the scenario that caused them.
+    """
+
+    #: Units buffered per batch; grids beyond this run in chunks.
+    MAX_BATCH = 256
+
+    def __init__(self, context: PlacementContext) -> None:
+        super().__init__(context)
+        self._backend: Any = None
+        self._buffer: List[Tuple[str, Any]] = []
+
+    def start(self) -> None:
+        backend = self.context.backend
+        if isinstance(backend, str):
+            from repro.api.backends import get_backend
+
+            backend = get_backend(backend)
+        if not hasattr(backend, "run_many"):
+            raise ValueError(
+                "the 'mega' placement needs a backend with run_many "
+                f"(the simulated backend); got {getattr(backend, 'name', backend)!r}"
+            )
+        if getattr(backend, "batched", True) is False:
+            import dataclasses
+
+            backend = dataclasses.replace(backend, batched=True)
+        self._backend = backend
+
+    @property
+    def capacity(self) -> int:
+        return max(0, self.MAX_BATCH - len(self._buffer))
+
+    def submit(self, key: str, scenario_dict: Dict[str, Any]) -> None:
+        from repro.api.scenario import Scenario
+
+        self._buffer.append((key, Scenario.from_dict(scenario_dict)))
+
+    def poll(self, timeout: float = 0.05) -> List[PlacementEvent]:
+        events = super().poll(timeout)
+        if not self._buffer:
+            return events
+        batch, self._buffer = self._buffer, []
+        try:
+            results = self._backend.run_many([sc for _, sc in batch])
+        except Exception:  # noqa: BLE001 - re-attribute per unit below
+            # One poisoned unit fails run_many as a whole (results of
+            # the healthy worlds are not recoverable from it), so
+            # re-run individually: errors land on the unit that caused
+            # them, everyone else still settles ``done``.
+            for key, sc in batch:
+                try:
+                    result = self._backend.run(sc)
+                    events.append((
+                        key, "done",
+                        result.to_record(
+                            include_solution=self.context.include_solution
+                        ),
+                    ))
+                except BackendTimeoutError as exc:
+                    events.append((key, "timeout", f"{type(exc).__name__}: {exc}"))
+                except Exception as exc:  # noqa: BLE001 - settled per unit
+                    events.append((
+                        key, "failed",
+                        {
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "traceback": traceback.format_exc(),
+                        },
+                    ))
+            return events
+        for (key, _sc), result in zip(batch, results):
+            events.append((
+                key, "done",
+                result.to_record(include_solution=self.context.include_solution),
+            ))
+        return events
+
+
 @register_placement("pool")
 class PoolPlacement(Placement):
     """One shard per worker process via the serve-layer WorkerPool.
@@ -342,6 +441,7 @@ __all__ = [
     "get_placement",
     "list_placements",
     "LocalPlacement",
+    "MegaPlacement",
     "PoolPlacement",
     "ServePlacement",
 ]

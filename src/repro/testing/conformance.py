@@ -8,7 +8,11 @@ For every generated scenario the driver:
 2. checks the :mod:`~repro.testing.invariants` on the simulated result
    and requires it to converge (the generator only emits survivable
    plans);
-3. runs the **threaded** and **process** backends on the *same
+3. runs the **batched** simulated engine (stacked compute ticks,
+   :mod:`repro.simgrid.batch`) on the same scenario and demands
+   bit-identical work counters, makespan, faults and solutions --
+   only the engine's event total may differ (flush events);
+4. runs the **threaded** and **process** backends on the *same
    scenario value* (three-way parity), checks the same invariants on
    each, and -- for scenarios whose plan carries no message-level
    adversity -- requires convergence agreement with the simulator
@@ -16,10 +20,10 @@ For every generated scenario the driver:
    concurrency must stay *sound* (no premature halt, success implies
    tolerance) but wall-clock fault windows are allowed to change
    whether it converges before the iteration cap;
-4. reaps any real-concurrency run that exceeds ``--timeout`` (threads
+5. reaps any real-concurrency run that exceeds ``--timeout`` (threads
    poisoned, worker processes terminated) and surfaces the timeout as
    that scenario's failure instead of stalling the sweep;
-5. across the sweep, requires that at least one windowed fault plan
+6. across the sweep, requires that at least one windowed fault plan
    demonstrably degraded and recovered (non-zero ``recoveries`` in the
    fault counters) whenever the generator emitted one.
 
@@ -33,6 +37,8 @@ from __future__ import annotations
 
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.api import ProcessBackend, Scenario, SimulatedBackend, ThreadedBackend
 from repro.api.faults import HostSlowdown, LinkDegradation, RankCrash
@@ -82,6 +88,8 @@ def run_scenario_conformance(
         "scenario": scenario.to_dict(),
         "has_faults": scenario.faults is not None and not scenario.faults.is_empty,
         "simulated": None,
+        "batched": None,
+        "batched_parity": None,
         "threaded": None,
         "process": None,
         "deterministic": None,
@@ -122,6 +130,39 @@ def run_scenario_conformance(
         violations.append(
             "simulated backend is not reproducible: two runs of the same "
             "seeded scenario disagree on work counters"
+        )
+
+    # Batched-engine parity: the batched tick mode must be bit-identical
+    # to the scalar simulator on everything except the engine's event
+    # total (one extra flush event per stacked tick).
+    try:
+        batched = SimulatedBackend(trace=False, batched=True).run(scenario)
+    except Exception as exc:  # noqa: BLE001 - reported per scenario
+        violations.append(
+            f"batched simulated backend raised {type(exc).__name__}: {exc}"
+        )
+        record["ok"] = False
+        return record
+    record["batched"] = _summary(batched)
+    scalar_counters = {
+        k: v for k, v in work_counters(second).items() if k != "events"
+    }
+    batched_counters = {
+        k: v for k, v in work_counters(batched).items() if k != "events"
+    }
+    record["batched_parity"] = bool(
+        scalar_counters == batched_counters
+        and np.array_equal(second.solution(), batched.solution())
+    )
+    if not record["batched_parity"]:
+        diffs = [
+            k for k in scalar_counters if scalar_counters[k] != batched_counters[k]
+        ]
+        if not np.array_equal(second.solution(), batched.solution()):
+            diffs.append("solution")
+        violations.append(
+            "batched/scalar parity broken: batched tick mode disagrees with "
+            f"the scalar simulator on {diffs}"
         )
     violations.extend(
         f"simulated: {v}" for v in check_invariants(scenario, first, problem)
@@ -258,6 +299,7 @@ def run_conformance(
         "recovered_scenarios": len(recovered),
         "timed_out_scenarios": sum(1 for r in records if r.get("timed_out")),
         "deterministic": all(r.get("deterministic") for r in records),
+        "batched_parity": all(r.get("batched_parity") for r in records),
         "elapsed_s": time.perf_counter() - started,
     }
     return {

@@ -1,0 +1,224 @@
+"""Batched tick mode: parity, stats, fallback and the mega placement.
+
+The batched engine (:mod:`repro.simgrid.batch`) promises *bit-identical*
+results to the scalar simulator -- same iteration counts, virtual
+makespans, message counts, fault outcomes and solutions -- with only the
+engine's event total allowed to differ (one flush event per stacked
+tick).  These tests pin that promise across generated seeds, both
+worker families (async AIAC and lockstep SISC), the cross-world
+mega-run, and the ``mega`` sweep placement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import Scenario
+from repro.api.backends import SimulatedBackend
+from repro.sweep import run_sweep
+from repro.sweep.placement import MegaPlacement, PlacementContext
+from repro.testing.generator import generate_scenarios
+from repro.testing.invariants import work_counters
+
+
+def _parity_counters(result):
+    """Work counters minus the event total (flush events differ)."""
+    return {k: v for k, v in work_counters(result).items() if k != "events"}
+
+
+def _assert_parity(scalar, batched):
+    assert _parity_counters(scalar) == _parity_counters(batched)
+    assert np.array_equal(scalar.solution(), batched.solution())
+
+
+# ----------------------------------------------------------------------
+# in-world parity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+def test_batched_parity_generated_scenarios(seed):
+    """Each generator seed's first scenario: batched == scalar bitwise.
+
+    Six seeds cover both problems, async and lockstep environments,
+    fault plans and balancing -- the same grid ``repro conformance``
+    sweeps.
+    """
+    scenario = generate_scenarios(1, seed=seed)[0]
+    scalar = SimulatedBackend(trace=False).run(scenario)
+    batched = SimulatedBackend(trace=False, batched=True).run(scenario)
+    _assert_parity(scalar, batched)
+
+
+def test_batched_parity_async_chemical():
+    scenario = Scenario(
+        problem="chemical",
+        problem_params={"nx": 8, "nz": 12, "t_end": 360.0},
+        environment="pm2",
+        n_ranks=3,
+    )
+    scalar = SimulatedBackend(trace=False).run(scenario)
+    batched = SimulatedBackend(trace=False, batched=True).run(scenario)
+    _assert_parity(scalar, batched)
+
+
+def test_batched_lockstep_stacks_full_width():
+    """Lockstep ranks park at the same tick: stacked groups reach
+    ``n_ranks`` width and the scalar path is never taken."""
+    scenario = Scenario(
+        problem="chemical",
+        problem_params={"nx": 8, "nz": 12, "t_end": 360.0},
+        environment="sync_mpi",
+        n_ranks=3,
+    )
+    scalar = SimulatedBackend(trace=False).run(scenario)
+    batched = SimulatedBackend(trace=False, batched=True).run(scenario)
+    _assert_parity(scalar, batched)
+    stats = batched.backend_stats["batched"]
+    assert stats["max_width"] == 3
+    assert stats["parked"] == stats["stacked"] + stats["scalar"]
+    assert stats["ticks"] >= 1
+
+
+def test_batched_scalar_fallback_without_iterate_batch():
+    """sparse_linear has no ``iterate_batch``: every parked member falls
+    back to scalar evaluation inside the flush, results unchanged."""
+    scenario = Scenario(problem="sparse_linear", environment="sync_mpi", n_ranks=3)
+    scalar = SimulatedBackend(trace=False).run(scenario)
+    batched = SimulatedBackend(trace=False, batched=True).run(scenario)
+    _assert_parity(scalar, batched)
+    stats = batched.backend_stats["batched"]
+    assert stats["stacked"] == 0
+    assert stats["scalar"] == stats["parked"] > 0
+
+
+# ----------------------------------------------------------------------
+# cross-world mega-run
+# ----------------------------------------------------------------------
+def _speed_grid(n, **scenario_kwargs):
+    return [
+        Scenario(
+            cluster="local_cluster",
+            cluster_params={"speed_scale": 0.8 + 0.05 * i, "n_hosts": 4},
+            **scenario_kwargs,
+        )
+        for i in range(n)
+    ]
+
+
+def test_run_many_matches_run_per_scenario():
+    grid_kwargs = dict(
+        problem="chemical",
+        problem_params={"nx": 8, "nz": 12, "t_end": 360.0},
+        environment="sync_mpi",
+        n_ranks=4,
+    )
+    singles = [
+        SimulatedBackend(trace=False).run(s) for s in _speed_grid(4, **grid_kwargs)
+    ]
+    many = SimulatedBackend(trace=False, batched=True).run_many(
+        _speed_grid(4, **grid_kwargs)
+    )
+    assert len(many) == 4
+    for scalar, mega in zip(singles, many):
+        _assert_parity(scalar, mega)
+
+
+def test_run_many_isolates_failures():
+    """A failing world must not poison its siblings: the good worlds'
+    results are complete before the failure is raised."""
+    from repro.core.run import _simulate_many
+    from repro.simgrid.world import ProcessFailure
+
+    backend = SimulatedBackend(trace=False, batched=True)
+    good = Scenario(problem="sparse_linear", environment="sync_mpi", n_ranks=2)
+    specs = []
+    for poisoned in (False, True):
+        spec, _ = backend._bind(good, None)
+        if poisoned:
+            inner = spec["make_solver"]
+
+            def make_failing(rank, size, _inner=inner):
+                solver = _inner(rank, size)
+                calls = {"n": 0}
+                original = solver.iterate
+
+                def iterate():
+                    calls["n"] += 1
+                    if calls["n"] > 2:
+                        raise RuntimeError("poisoned solver")
+                    return original()
+
+                solver.iterate = iterate
+                return solver
+
+            spec = dict(spec, make_solver=make_failing)
+        specs.append(spec)
+    with pytest.raises(ProcessFailure):
+        _simulate_many(specs)
+
+
+# ----------------------------------------------------------------------
+# mega placement
+# ----------------------------------------------------------------------
+def _record_essence(record):
+    """A record with every wall-clock/batched-only field removed."""
+    rec = {k: v for k, v in record.items() if k != "elapsed"}
+    stats = {
+        k: v
+        for k, v in (rec.get("backend_stats") or {}).items()
+        if k not in ("events", "batched")
+    }
+    rec["backend_stats"] = stats
+    rec["reports"] = [
+        {k: v for k, v in rep.items() if k != "elapsed"}
+        for rep in rec.get("reports", [])
+    ]
+    return rec
+
+
+def test_mega_placement_records_match_local():
+    grid = [
+        dict(
+            problem="chemical",
+            problem_params={"nx": 8, "nz": 12, "t_end": 360.0},
+            environment="sync_mpi",
+            n_ranks=4,
+            cluster="local_cluster",
+            cluster_params={"speed_scale": 0.8 + 0.05 * i, "n_hosts": 4},
+        )
+        for i in range(4)
+    ]
+    local = run_sweep(grid, placement="local", include_solution=True)
+    mega = run_sweep(grid, placement="mega", include_solution=True)
+    assert mega.counters["executed"] == 4
+    assert not mega.errors
+    for a, b in zip(local.records, mega.records):
+        assert _record_essence(a) == _record_essence(b)
+
+
+def test_mega_placement_attributes_failures_per_unit():
+    """A unit that breaks the whole batch settles as *its* error; the
+    healthy units still settle done through the per-unit fallback."""
+    good = dict(problem="sparse_linear", environment="sync_mpi", n_ranks=2)
+    # Valid at validation time, fails inside the backend: more ranks
+    # than hosts is only detected when the world is built.
+    bad = dict(
+        problem="sparse_linear",
+        environment="sync_mpi",
+        n_ranks=6,
+        cluster_params={"n_hosts": 2},
+    )
+    outcome = run_sweep([good, bad], placement="mega")
+    assert "error" not in outcome.records[0]
+    assert "error" in outcome.records[1]
+    assert "hosts" in outcome.records[1]["error"]
+
+
+def test_mega_placement_refuses_non_simulated_backends():
+    placement = MegaPlacement(PlacementContext(backend="threaded"))
+    with pytest.raises(ValueError, match="run_many"):
+        placement.start()
+
+
+def test_mega_placement_enables_batched_mode():
+    placement = MegaPlacement(PlacementContext(backend="simulated"))
+    placement.start()
+    assert placement._backend.batched is True

@@ -10,6 +10,7 @@ from repro.bench import (
     KERNELS,
     BenchCase,
     compare_payloads,
+    environment_fingerprint,
     load_bench,
     next_bench_path,
     quick_suite,
@@ -58,6 +59,27 @@ def test_bench_case_validation():
         BenchCase(name="x", kind="scenario")  # no scenario dict
     with pytest.raises(ValueError):
         BenchCase(name="x", kind="kernel")  # no kernel name
+    with pytest.raises(ValueError):
+        BenchCase(name="x", kind="sweep")  # no sweep mapping
+    with pytest.raises(ValueError):
+        BenchCase(name="x", kind="sweep", sweep={"grid": []})  # empty grid
+
+
+def test_sweep_pair_counters_bit_identical():
+    """The quick-tier scalar/mega sweep pair must agree on every
+    aggregated work counter: this is the ledger's bitwise-parity
+    record for the batched mega-run."""
+    pair = {c.name: c for c in select_cases(pattern="grid8")}
+    assert set(pair) == {
+        "sweep/chemical_grid8_scalar", "sweep/chemical_grid8_mega"
+    }
+    scalar = run_case(pair["sweep/chemical_grid8_scalar"], repeats=1)
+    mega = run_case(pair["sweep/chemical_grid8_mega"], repeats=1)
+    assert scalar["counters"] == mega["counters"]
+    assert scalar["counters"]["executed"] == 8
+    assert scalar["counters"]["failed"] == 0
+    assert scalar["counters"]["converged"] == 1
+    assert scalar["counters"]["total_iterations"] > 0
 
 
 # ----------------------------------------------------------------------
@@ -160,6 +182,42 @@ def test_compare_classifies_improvement_added_removed():
         compare_payloads(baseline, current, threshold=1.0)
 
 
+def test_compare_env_mismatch_is_advisory_unless_forced():
+    """Timings from a different machine never gate: matched cases
+    settle as env-mismatch (speedup still reported), the regression
+    list stays empty, and ``force=True`` restores classification."""
+    baseline = _payload_with({"kernel/a": 0.010, "kernel/gone": 0.010})
+    current = _payload_with({"kernel/a": 0.030, "kernel/new": 0.010})
+    current["environment"] = dict(
+        baseline["environment"], machine="arm64", cpu_count=128
+    )
+    report = compare_payloads(baseline, current, threshold=1.25)
+    by_name = {row.name: row for row in report.rows}
+    assert by_name["kernel/a"].status == "env-mismatch"
+    assert by_name["kernel/a"].speedup == pytest.approx(1 / 3, rel=1e-6)
+    # added/removed are matching facts, not timing claims: still reported.
+    assert by_name["kernel/gone"].status == "removed"
+    assert by_name["kernel/new"].status == "added"
+    assert not report.regressions
+    assert sorted(report.env_mismatch) == ["cpu_count", "machine"]
+    assert "ADVISORY" in report.format()
+
+    forced = compare_payloads(baseline, current, threshold=1.25, force=True)
+    assert {r.name: r.status for r in forced.rows}["kernel/a"] == "regression"
+    assert forced.regressions and forced.env_mismatch
+    assert "forced" in forced.format()
+
+
+def test_compare_git_rev_difference_is_not_a_mismatch():
+    baseline = _payload_with({"kernel/a": 0.010})
+    current = _payload_with({"kernel/a": 0.030})
+    baseline["environment"]["git_rev"] = "aaaa"
+    current["environment"]["git_rev"] = "bbbb"
+    report = compare_payloads(baseline, current, threshold=1.25)
+    assert not report.env_mismatch
+    assert report.rows[0].status == "regression"
+
+
 # ----------------------------------------------------------------------
 # CLI: repro bench end to end
 # ----------------------------------------------------------------------
@@ -174,8 +232,11 @@ def test_cli_bench_writes_valid_file(tmp_path, capsys):
 
 def test_cli_bench_compare_exits_3_on_regression(tmp_path, capsys):
     # A baseline claiming the kernel once ran in 1 microsecond: the
-    # fresh run cannot match it, so the gate must trip.
+    # fresh run cannot match it, so the gate must trip.  The baseline
+    # carries this machine's real fingerprint so the comparison is not
+    # waived as an environment mismatch.
     baseline = _payload_with({"kernel/channel_post_drain": 1e-6})
+    baseline["environment"] = environment_fingerprint()
     baseline_path = tmp_path / "BENCH_base.json"
     baseline_path.write_text(json.dumps(baseline))
     out = tmp_path / "bench.json"
@@ -183,6 +244,25 @@ def test_cli_bench_compare_exits_3_on_regression(tmp_path, capsys):
                        "--repeats", "2", "--output", str(out),
                        "--compare", str(baseline_path)])
     assert status == 3
+    assert "regression" in capsys.readouterr().out
+
+
+def test_cli_bench_compare_foreign_baseline_is_advisory(tmp_path, capsys):
+    # The same impossible baseline, but stamped with another machine's
+    # fingerprint: the gate must pass with an advisory instead of
+    # failing, and --force must restore the strict behaviour.
+    baseline = _payload_with({"kernel/channel_post_drain": 1e-6})
+    baseline["environment"] = dict(
+        environment_fingerprint(), machine="vax-11/780", cpu_count=1
+    )
+    baseline_path = tmp_path / "BENCH_base.json"
+    baseline_path.write_text(json.dumps(baseline))
+    out = tmp_path / "bench.json"
+    args = ["bench", "--filter", "channel_post_drain", "--repeats", "2",
+            "--output", str(out), "--compare", str(baseline_path)]
+    assert cli_main(args) == 0
+    assert "env-mismatch" in capsys.readouterr().out
+    assert cli_main(args + ["--force"]) == 3
     assert "regression" in capsys.readouterr().out
 
 

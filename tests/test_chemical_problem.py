@@ -92,6 +92,61 @@ def test_rhs_strip_decomposition_matches_full_grid():
         assert np.allclose(np.concatenate(pieces, axis=1), full)
 
 
+def test_rhs_strip_full_extent_is_rhs_bitwise():
+    """Audit: a strip covering all rows with no halos IS the full-grid
+    RHS, bit for bit (``rhs`` delegates to ``rhs_strip``)."""
+    p = _problem(nx=8, nz=15)
+    rng = np.random.default_rng(3)
+    c = p.initial_state() * rng.uniform(0.5, 1.5, p.shape)
+    t = 400.0
+    assert np.array_equal(p.rhs_strip(c, t, 0, None, None), p.rhs(c, t))
+
+
+def test_rhs_strip_decomposition_bitwise():
+    """Audit: adjacent strips fed exact halo rows reproduce the
+    full-grid evaluation *bitwise*, not just approximately -- the strip
+    kernel slices precomputed full-extent coefficients, so no operand
+    or operation order differs between the two evaluations."""
+    p = _problem(nx=8, nz=15)
+    rng = np.random.default_rng(7)
+    for trial in range(5):
+        c = p.initial_state() * rng.uniform(0.25, 4.0, p.shape)
+        t = float(rng.uniform(0.0, 7200.0))
+        full = p.rhs(c, t)
+        n_cuts = int(rng.integers(2, 6))
+        interior = sorted(rng.choice(np.arange(1, 15), size=n_cuts - 1, replace=False))
+        cuts = [0] + [int(i) for i in interior] + [15]
+        pieces = []
+        for lo, hi in zip(cuts[:-1], cuts[1:]):
+            halo_top = c[:, lo - 1, :].copy() if lo > 0 else None
+            halo_bottom = c[:, hi, :].copy() if hi < 15 else None
+            pieces.append(p.rhs_strip(c[:, lo:hi, :], t, lo, halo_top, halo_bottom))
+        assert np.array_equal(np.concatenate(pieces, axis=1), full), cuts
+
+
+def test_zero_flux_boundaries_conserve_diffused_mass():
+    """The mirror ghost IS the zero-flux condition: no mass crosses the
+    physical boundaries.  With reactions off (night, ``c1 = 0``) and a
+    state constant in x (no horizontal transport), the RHS is pure
+    vertical diffusion, whose column sum telescopes to the two boundary
+    interface fluxes -- identically zero.  A spurious boundary
+    correction term (the dead lines removed from ``rhs_strip``) would
+    show up here as a mass drift."""
+    p = _problem(nx=6, nz=14)
+    night = 1.5 * math.pi / OMEGA
+    assert q3(night) == 0.0 and q4(night) == 0.0
+    c = np.zeros(p.shape)
+    rng = np.random.default_rng(11)
+    c[1] = rng.uniform(1e11, 2e12, p.config.nz)[:, None]  # z-profile, flat in x
+    f = p.rhs(c, night)
+    # c1 = 0 and no photolysis: species 1 has no sources at all.
+    assert np.all(f[0] == 0.0)
+    drift = abs(float(f[1].sum()))
+    flux_scale = float(np.abs(f[1]).sum())
+    assert flux_scale > 0.0
+    assert drift <= 1e-12 * flux_scale
+
+
 def test_rhs_conserves_nothing_but_is_finite():
     p = _problem()
     f = p.rhs(p.initial_state(), 100.0)
@@ -258,3 +313,49 @@ def test_more_ranks_than_rows_rejected():
     p = _problem(nz=4)
     with pytest.raises(ValueError):
         p.make_local(0, 10)
+
+
+def _drive_lockstep(p, size, steps, batched):
+    """Run the strip solvers in lockstep; return states + iteration logs."""
+    from repro.problems.chemical import ChemicalLocal
+
+    locals_ = [p.make_local(r, size) for r in range(size)]
+
+    def exchange():
+        for solver in locals_:
+            for dst, (payload, _) in solver.initial_outgoing().items():
+                locals_[dst].integrate(solver.rank, payload)
+
+    log = []
+    exchange()
+    for step in range(steps):
+        for solver in locals_:
+            solver.begin_step(step)
+        for _ in range(40):
+            if batched:
+                results = ChemicalLocal.iterate_batch(locals_)
+            else:
+                results = [s.iterate() for s in locals_]
+            log.append([(r.residual, r.flops, sorted(r.outgoing)) for r in results])
+            for solver, res in zip(locals_, results):
+                for dst, (payload, _) in res.outgoing.items():
+                    locals_[dst].integrate(solver.rank, payload)
+            if max(r.residual for r in results) < 1e-9:
+                break
+        exchange()
+        for solver in locals_:
+            solver.end_step(step)
+    states = [s.local_state().copy() for s in locals_]
+    return states, log
+
+
+def test_batched_iterate_bit_identical_to_scalar():
+    """``iterate_batch`` must reproduce per-solver ``iterate`` exactly:
+    same residuals, same flop charges, same outgoing payload keys, and
+    bitwise-equal final states."""
+    p = _problem(nx=8, nz=12, t_end=360.0)
+    scalar_states, scalar_log = _drive_lockstep(p, 3, p.config.n_steps, batched=False)
+    batch_states, batch_log = _drive_lockstep(p, 3, p.config.n_steps, batched=True)
+    assert scalar_log == batch_log
+    for a, b in zip(scalar_states, batch_states):
+        assert np.array_equal(a, b)
