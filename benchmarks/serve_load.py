@@ -238,6 +238,16 @@ def run_load(args: argparse.Namespace) -> dict:
             pending = still
             time.sleep(0.1)
         final_stats = client.stats()
+        final_metrics = client.metrics()
+        # The observability contract: after real load the daemon's
+        # queue-latency histogram is non-empty (fresh submissions in
+        # this daemon life were queued, dispatched and observed --
+        # journal-replayed jobs are deliberately excluded).
+        queue_hist = final_metrics["histograms"].get("queue_latency_s", {})
+        assert queue_hist.get("count", 0) > 0, (
+            f"metrics verb returned an empty queue-latency histogram: "
+            f"{final_metrics}"
+        )
         # Spot-check that records are really retrievable.
         for job_id in job_ids[:: max(1, len(job_ids) // 25)]:
             frame = client.result(job_id)
@@ -294,6 +304,7 @@ def run_load(args: argparse.Namespace) -> dict:
         "cache_hit_rate": round(served_free / len(submissions), 3),
         "first_life_stats": first_life_stats,
         "final_stats": final_stats,
+        "final_metrics": final_metrics,
         "clean_shutdown_exit": exit_code,
     }
     return report

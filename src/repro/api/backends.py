@@ -142,6 +142,28 @@ def scenario_message_fault_injector(scenario: Scenario, stream: int = 0):
     )
 
 
+def _wall_timeline(backend_name: str, outcome) -> Optional[Any]:
+    """Wrap a real-concurrency run's wall-clock trace, if it has one.
+
+    Shared by the threaded and process backends: both return a
+    :class:`~repro.runtime.executor.ThreadRunResult` whose ``trace`` is
+    a ``GanttTrace`` (or ``None`` when the run was not traced).
+    """
+    if outcome.trace is None:
+        return None
+    from repro.obs.trace import Timeline
+
+    return Timeline.from_gantt(
+        outcome.trace,
+        backend=backend_name,
+        clock="wall",
+        meta={
+            "elapsed": outcome.elapsed,
+            "messages_sent": outcome.messages_sent,
+        },
+    )
+
+
 @register_backend("simulated")
 @dataclass
 class SimulatedBackend:
@@ -168,6 +190,11 @@ class SimulatedBackend:
     trace: bool = True
     max_events: Optional[int] = None
     batched: bool = False
+    #: Attach a :class:`repro.obs.trace.Timeline` (virtual clock) built
+    #: from the world's Gantt trace to :attr:`RunResult.timeline`.  The
+    #: same flag name works on every backend, so ``repro trace`` and
+    #: sweeps can pass ``timeline=True`` regardless of backend.
+    timeline: bool = False
 
     def _bind(self, scenario: Scenario, make_solver: Optional[Callable]):
         """Resolve a scenario into ``_build_world`` kwargs + injector."""
@@ -199,22 +226,33 @@ class SimulatedBackend:
             policy=policy,
             worker=worker,
             opts=opts,
-            trace=self.trace,
+            # A timeline needs the Gantt recorder even if trace=False.
+            trace=self.trace or self.timeline,
             faults=injector,
             make_balancer=make_balancer,
         )
         return spec, injector
 
     def _wrap(self, scenario, outcome, injector, started: float) -> RunResult:
+        stats = outcome.world.stats()
+        timeline = None
+        if self.timeline:
+            from repro.obs.trace import Timeline
+
+            timeline = Timeline.from_gantt(
+                outcome.world.trace, backend=self.name, clock="virtual",
+                meta=stats,
+            )
         return RunResult(
             makespan=outcome.makespan,
             reports=dict(outcome.reports),
             backend=self.name,
             elapsed=time.perf_counter() - started,
             scenario=scenario,
-            backend_stats=outcome.world.stats(),
+            backend_stats=stats,
             faults={} if injector is None else dict(injector.counters),
             world=outcome.world,
+            timeline=timeline,
         )
 
     def run(
@@ -277,6 +315,9 @@ class ThreadedBackend:
     name: ClassVar[str] = "threaded"
 
     timeout: float = 120.0
+    #: Record wall-clock compute/idle/comm spans per rank and attach
+    #: them as :attr:`RunResult.timeline` (clock ``"wall"``).
+    timeline: bool = False
 
     def run(
         self,
@@ -290,6 +331,7 @@ class ThreadedBackend:
             scenario.n_ranks,
             timeout=self.timeout,
             faults=injector,
+            trace=self.timeline,
         )
         return RunResult(
             makespan=outcome.elapsed,
@@ -299,6 +341,7 @@ class ThreadedBackend:
             scenario=scenario,
             backend_stats={"messages_sent": outcome.messages_sent},
             faults=dict(outcome.faults),
+            timeline=_wall_timeline(self.name, outcome),
         )
 
 
@@ -329,6 +372,9 @@ class ProcessBackend:
 
     timeout: float = 120.0
     start_method: Optional[str] = None
+    #: Record wall-clock spans inside every worker process, merged in
+    #: the parent and attached as :attr:`RunResult.timeline`.
+    timeline: bool = False
 
     def run(
         self,
@@ -345,7 +391,8 @@ class ProcessBackend:
         from repro.runtime.process_hub import run_processes
 
         outcome = run_processes(
-            scenario, timeout=self.timeout, start_method=self.start_method
+            scenario, timeout=self.timeout, start_method=self.start_method,
+            trace=self.timeline,
         )
         return RunResult(
             makespan=outcome.elapsed,
@@ -355,6 +402,7 @@ class ProcessBackend:
             scenario=scenario,
             backend_stats={"messages_sent": outcome.messages_sent},
             faults=dict(outcome.faults),
+            timeline=_wall_timeline(self.name, outcome),
         )
 
 

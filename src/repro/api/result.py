@@ -91,6 +91,11 @@ class RunResult:
     #: ``recoveries``.  See ``docs/testing.md``.
     faults: Dict[str, int] = field(default_factory=dict)
     world: Optional[Any] = None
+    #: Per-rank span/marker timeline (a :class:`repro.obs.trace.Timeline`)
+    #: when the backend ran with tracing on; ``None`` otherwise.  Unlike
+    #: ``world`` it *does* serialize: ``to_record`` emits it as a
+    #: ``"timeline"`` section and ``from_record`` rebuilds it.
+    timeline: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # aggregates
@@ -220,6 +225,11 @@ class RunResult:
             "backend_stats": jsonify(self.backend_stats),
             "faults": {str(k): int(v) for k, v in sorted(self.faults.items())},
             "reports": report_records,
+            **(
+                {}
+                if self.timeline is None
+                else {"timeline": self.timeline.to_dict()}
+            ),
         }
 
     @classmethod
@@ -243,6 +253,11 @@ class RunResult:
                 meta=dict(rep.get("meta", {})),
             )
         scenario = record.get("scenario")
+        timeline = None
+        if record.get("timeline") is not None:
+            from repro.obs.trace import Timeline
+
+            timeline = Timeline.from_dict(record["timeline"])
         return cls(
             makespan=record["makespan"],
             reports=reports,
@@ -251,6 +266,7 @@ class RunResult:
             scenario=None if scenario is None else Scenario.from_dict(scenario),
             backend_stats=dict(record.get("backend_stats", {})),
             faults=dict(record.get("faults", {})),
+            timeline=timeline,
         )
 
 

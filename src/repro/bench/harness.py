@@ -95,7 +95,7 @@ def _run_scenario_case(case: BenchCase, repeats: int) -> Dict[str, Any]:
     timings: List[float] = []
     counter_runs: List[Dict[str, Any]] = []
     for _ in range(repeats):
-        backend = get_backend(case.backend)
+        backend = get_backend(case.backend, **dict(case.backend_kwargs or {}))
         started = time.perf_counter()
         result = backend.run(scenario)
         timings.append(time.perf_counter() - started)

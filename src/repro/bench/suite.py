@@ -54,6 +54,10 @@ class BenchCase:
         grid records the mega-run speedup in the ledger, and -- because
         the sweep counters aggregate the deterministic work counters --
         proves bitwise parity at the same time.
+    backend_kwargs:
+        Extra constructor arguments for the backend of a scenario case
+        (e.g. ``{"timeline": True}``); the tracer-overhead pair uses
+        this to run the same scenario with tracing off and on.
     tags:
         Free-form labels; the :data:`QUICK` tag selects the smoke tier.
     deterministic_counters:
@@ -67,6 +71,7 @@ class BenchCase:
     backend: str = "simulated"
     kernel: Optional[str] = None
     sweep: Optional[Mapping[str, Any]] = None
+    backend_kwargs: Optional[Mapping[str, Any]] = None
     tags: Tuple[str, ...] = ()
     deterministic_counters: bool = True
 
@@ -291,6 +296,25 @@ DEFAULT_SUITE: List[BenchCase] = [
         backend="process",
         tags=("gil_pair",),
         deterministic_counters=False,
+    ),
+    # -- tracer overhead: same scenario, tracing off vs on -------------
+    # The off case must time like the plain quick-tier run (tracing
+    # disabled is a single None check on the hot path); the on case
+    # records what a full span/marker timeline costs.  The guard in
+    # tests/test_bench.py holds the *disabled* overhead under 5%.
+    BenchCase(
+        name="scenario/sparse_pm2_n600_r4_trace_off",
+        kind="scenario",
+        scenario=_sparse(600, "pm2", 4),
+        backend_kwargs={"timeline": False},
+        tags=(QUICK, "trace_pair"),
+    ),
+    BenchCase(
+        name="scenario/sparse_pm2_n600_r4_trace_on",
+        kind="scenario",
+        scenario=_sparse(600, "pm2", 4),
+        backend_kwargs={"timeline": True},
+        tags=(QUICK, "trace_pair"),
     ),
     # -- sweep grids: scalar placement vs the batched mega-run ---------
     # Each pair runs the *same* grid twice, once a scenario at a time

@@ -61,6 +61,20 @@ local|pool|serve] [--processes N] [--state-dir DIR] [--resume]
     prints one record per scenario.  With ``--no-wait`` prints the
     submission acks (job ids) instead.
 
+``repro trace scenario.json [--backend NAME] [--out trace.json]
+[--format chrome|ndjson] [--index I] [--no-markers]``
+    Run one scenario with tracing on and write its per-rank
+    compute/idle/comm timeline: ``chrome`` is the trace-event JSON
+    Perfetto (https://ui.perfetto.dev) loads directly, ``ndjson`` the
+    line-oriented archival form.  Works on every backend (virtual
+    clock on ``simulated``, wall clock on ``threaded``/``process``).
+    See ``docs/observability.md``.
+
+``repro report trace.json [--width N]``
+    Render a trace file written by ``repro trace`` (either format) as
+    the ASCII report: per-rank utilization table, Gantt chart,
+    iteration-marker counts.
+
 Exit status: 0 on success, 1 on scenario/conformance failures, 2 on
 bad input, 3 on benchmark regressions.
 """
@@ -484,6 +498,67 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.api import Scenario, run_scenario
+    from repro.obs import render_report, write_trace
+
+    data = _load_scenario_list(args.scenarios)
+    if data is None:
+        return 2
+    if not 0 <= args.index < len(data):
+        print(f"error: --index {args.index} out of range "
+              f"(file holds {len(data)} scenario(s))", file=sys.stderr)
+        return 2
+    try:
+        scenario = Scenario.from_dict(data[args.index])
+        if not args.no_markers:
+            # Iteration markers come from the workers' Trace effects;
+            # force them on so the timeline carries per-iteration
+            # residuals (workers that emit none, e.g. SISC, still
+            # produce a span-only timeline).
+            scenario = dc_replace(
+                scenario,
+                options=dc_replace(
+                    scenario.resolved_options(), trace_iterations=True
+                ),
+            )
+        result = run_scenario(scenario, backend=args.backend, timeline=True)
+    except (KeyError, ValueError, TypeError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    timeline = result.timeline
+    path = write_trace(timeline, args.out, format=args.format)
+    print(
+        f"wrote {args.format} trace to {path} "
+        f"(backend={timeline.backend}, clock={timeline.clock}, "
+        f"{len(timeline.spans)} span(s), {len(timeline.markers)} marker(s), "
+        f"makespan {timeline.makespan():.4f}s)"
+    )
+    if args.summary:
+        print()
+        print(render_report(timeline, width=args.width))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace, render_report
+
+    try:
+        timeline = load_trace(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {args.trace} is not a readable trace: {exc}",
+              file=sys.stderr)
+        return 2
+    print(render_report(timeline, width=args.width))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for doc/tests)."""
     parser = argparse.ArgumentParser(
@@ -784,6 +859,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write records to a file instead of stdout"
     )
     submit_parser.set_defaults(func=_cmd_submit)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="run one scenario with tracing on and write its timeline",
+        description=(
+            "Run one scenario on any backend with span tracing enabled "
+            "and write the per-rank compute/idle/comm timeline: Chrome "
+            "trace-event JSON (load it at https://ui.perfetto.dev) or "
+            "NDJSON. The simulated backend records virtual-clock spans, "
+            "the threaded and process backends wall-clock spans -- same "
+            "schema either way. See docs/observability.md."
+        ),
+    )
+    trace_parser.add_argument("scenarios", help="path to a scenario JSON file")
+    trace_parser.add_argument(
+        "--backend", default="simulated",
+        help="backend name (default: simulated)",
+    )
+    trace_parser.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="output trace file (default: trace.json)",
+    )
+    trace_parser.add_argument(
+        "--format", default="chrome", choices=("chrome", "ndjson"),
+        help="trace file format (default: chrome)",
+    )
+    trace_parser.add_argument(
+        "--index", type=int, default=0, metavar="I",
+        help="which scenario in the file to trace (default: 0)",
+    )
+    trace_parser.add_argument(
+        "--no-markers", action="store_true",
+        help="do not force per-iteration Trace markers on",
+    )
+    trace_parser.add_argument(
+        "--summary", action="store_true",
+        help="also print the ASCII utilization report",
+    )
+    trace_parser.add_argument(
+        "--width", type=int, default=72,
+        help="Gantt width in characters for --summary (default: 72)",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="render a trace file as an ASCII utilization/Gantt report",
+        description=(
+            "Render a trace written by `repro trace` (Chrome trace-event "
+            "JSON or NDJSON; the format is sniffed) as an ASCII report: "
+            "per-rank compute/idle/comm seconds and utilization, the "
+            "Gantt chart, and iteration-marker counts."
+        ),
+    )
+    report_parser.add_argument("trace", help="path to a trace file")
+    report_parser.add_argument(
+        "--width", type=int, default=72,
+        help="Gantt width in characters (default: 72)",
+    )
+    report_parser.set_defaults(func=_cmd_report)
     return parser
 
 

@@ -56,23 +56,36 @@ def _base_scenario(config: FlowConfig) -> Scenario:
 
 
 def run_execution_flows(config: FlowConfig = FlowConfig()) -> Dict[str, object]:
+    from repro.obs import Timeline, utilisation_table
+
     base = _base_scenario(config)
     flows: Dict[str, object] = {}
     for label, env_name in [("figure1_sisc", "sync_mpi"), ("figure2_aiac", "pm2")]:
         result = run_scenario_case(base.derive(environment=env_name))
         trace = result.world.trace
+        # The per-rank utilisation rows come from the shared obs layer:
+        # the same table `repro report` prints for a traced run on any
+        # backend, so the figure and the tracer agree by construction.
+        rows = utilisation_table(trace)
         flows[label] = {
             "makespan": result.makespan,
-            "utilisation": {r: trace.utilisation(r) for r in trace.ranks()},
+            "utilisation": {row["rank"]: row["utilisation"] for row in rows},
             "idle_gaps": {r: trace.idle_gaps(r, min_gap=1e-6) for r in trace.ranks()},
             "gantt": trace.ascii_gantt(width=72),
             "iterations": {r: rep.iterations for r, rep in result.reports.items()},
             "trace": trace,
+            "timeline": Timeline.from_gantt(
+                trace, backend="simulated", clock="virtual",
+                meta={"figure": label, "makespan": result.makespan},
+            ),
+            "utilisation_rows": rows,
         }
     return flows
 
 
 def format_flows(outcome: Dict[str, object]) -> str:
+    from repro.obs import format_utilisation
+
     blocks = []
     for label, title in [
         ("figure1_sisc", "Figure 1 -- execution flow of a SISC algorithm (sync MPI)"),
@@ -87,6 +100,7 @@ def format_flows(outcome: Dict[str, object]) -> str:
         )
         blocks.append(
             f"{title}\n{flow['gantt']}\n"
+            f"{format_utilisation(flow['utilisation_rows'])}\n"
             f"compute utilisation: {util}\nidle gaps: {gaps}\n"
             f"makespan: {flow['makespan']:.3f} s"
         )

@@ -1,0 +1,294 @@
+"""Timeline exporters: NDJSON trace files and Chrome trace-event JSON.
+
+Two wire forms, one loader:
+
+* **NDJSON** -- a ``meta`` line followed by one line per span/marker.
+  Append-friendly, greppable, the service-side archival form.
+* **Chrome trace-event JSON** -- the ``{"traceEvents": [...]}`` format
+  Perfetto (https://ui.perfetto.dev) and ``chrome://tracing`` load
+  directly: one ``"ph": "X"`` complete event per span (microsecond
+  ``ts``/``dur``, ``tid`` = rank), one ``"ph": "i"`` instant per
+  marker, plus ``"M"`` metadata events naming the process and rank
+  rows.  :func:`validate_chrome_trace` checks that shape and is what
+  the CI trace-smoke job runs against every backend's output.
+
+:func:`load_trace` sniffs the format, so ``repro report`` renders
+whichever file ``repro trace`` wrote.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Union
+
+from repro.obs.trace import TIMELINE_SCHEMA, Timeline
+
+#: Allowed Chrome trace-event phases in our emitted files.
+_PHASES = {"X", "i", "M"}
+
+
+# ---------------------------------------------------------------------------
+# NDJSON
+# ---------------------------------------------------------------------------
+def timeline_to_ndjson(timeline: Timeline) -> str:
+    """One ``meta`` line, then one line per span and marker (sorted)."""
+    data = timeline.to_dict()
+    lines = [
+        json.dumps(
+            {
+                "type": "meta",
+                "schema": data["schema"],
+                "backend": data["backend"],
+                "clock": data["clock"],
+                "meta": data["meta"],
+            },
+            separators=(",", ":"),
+        )
+    ]
+    for rank, start, end, kind, label in data["spans"]:
+        lines.append(
+            json.dumps(
+                {"type": "span", "rank": rank, "start": start, "end": end,
+                 "kind": kind, "label": label},
+                separators=(",", ":"),
+            )
+        )
+    for rank, at, kind, info in data["markers"]:
+        lines.append(
+            json.dumps(
+                {"type": "marker", "rank": rank, "time": at, "kind": kind,
+                 "info": info},
+                separators=(",", ":"),
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def timeline_from_ndjson(text: str) -> Timeline:
+    header: Dict[str, Any] = {}
+    spans: List[list] = []
+    markers: List[list] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace NDJSON line {lineno} is not JSON: {exc}") from exc
+        kind = event.get("type")
+        if kind == "meta":
+            header = event
+        elif kind == "span":
+            spans.append(
+                [event["rank"], event["start"], event["end"],
+                 event["kind"], event.get("label", "")]
+            )
+        elif kind == "marker":
+            markers.append(
+                [event["rank"], event["time"], event["kind"],
+                 event.get("info", {})]
+            )
+        # unknown line types are skipped: forward compatibility
+    return Timeline.from_dict(
+        {
+            "schema": header.get("schema", TIMELINE_SCHEMA),
+            "backend": header.get("backend", "?"),
+            "clock": header.get("clock", "wall"),
+            "meta": header.get("meta", {}),
+            "spans": spans,
+            "markers": markers,
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON (Perfetto)
+# ---------------------------------------------------------------------------
+def timeline_to_chrome(timeline: Timeline) -> Dict[str, Any]:
+    """The ``{"traceEvents": [...]}`` object Perfetto loads.
+
+    Span times are seconds on the timeline's clock; Chrome wants
+    microseconds, so virtual and wall clocks both scale by 1e6.  The
+    timeline header rides in ``otherData`` so the reverse conversion
+    (:func:`chrome_to_timeline`) is lossless minus span ordering.
+    """
+    data = timeline.to_dict()
+    pid = 1
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": f"repro:{timeline.backend}"},
+        }
+    ]
+    for rank in timeline.ranks():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": rank,
+                "ts": 0,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+    for rank, start, end, kind, label in data["spans"]:
+        events.append(
+            {
+                "name": label or kind,
+                "cat": kind,
+                "ph": "X",
+                "pid": pid,
+                "tid": rank,
+                "ts": round(start * 1e6, 3),
+                "dur": round((end - start) * 1e6, 3),
+                "args": {"kind": kind},
+            }
+        )
+    for rank, at, kind, info in data["markers"]:
+        events.append(
+            {
+                "name": kind,
+                "cat": "marker",
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "pid": pid,
+                "tid": rank,
+                "ts": round(at * 1e6, 3),
+                "args": dict(info),
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": data["schema"],
+            "backend": data["backend"],
+            "clock": data["clock"],
+            "meta": data["meta"],
+        },
+    }
+
+
+def validate_chrome_trace(obj: Any) -> Dict[str, Any]:
+    """Check the Chrome trace-event shape; returns ``obj`` or raises.
+
+    Validates what Perfetto actually needs: a ``traceEvents`` list of
+    objects, each with a ``name``, a known ``ph``, integer-compatible
+    non-negative ``ts``, ``pid``/``tid``, and a non-negative ``dur``
+    on every complete (``"X"``) event.
+    """
+    if not isinstance(obj, Mapping):
+        raise ValueError(f"chrome trace must be a JSON object, got {type(obj).__name__}")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("chrome trace carries no 'traceEvents' list")
+    for i, event in enumerate(events):
+        if not isinstance(event, Mapping):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        where = f"traceEvents[{i}] ({event.get('name')!r})"
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"{where}: missing 'name'")
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            raise ValueError(f"{where}: phase {phase!r} not in {sorted(_PHASES)}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ValueError(f"{where}: '{key}' must be an integer")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            raise ValueError(f"{where}: 'ts' must be a non-negative number")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                raise ValueError(f"{where}: 'X' event needs a non-negative 'dur'")
+    return dict(obj)
+
+
+def chrome_to_timeline(obj: Mapping[str, Any]) -> Timeline:
+    """Rebuild a :class:`Timeline` from our emitted Chrome trace JSON."""
+    validate_chrome_trace(obj)
+    other = obj.get("otherData", {}) if isinstance(obj.get("otherData"), Mapping) else {}
+    spans: List[list] = []
+    markers: List[list] = []
+    for event in obj["traceEvents"]:
+        phase = event.get("ph")
+        if phase == "X":
+            start = float(event["ts"]) / 1e6
+            end = start + float(event["dur"]) / 1e6
+            kind = event.get("cat") or event.get("args", {}).get("kind", "compute")
+            label = event["name"] if event["name"] != kind else ""
+            spans.append([event["tid"], start, end, kind, label])
+        elif phase == "i":
+            markers.append(
+                [event["tid"], float(event["ts"]) / 1e6, event["name"],
+                 dict(event.get("args", {}))]
+            )
+    return Timeline.from_dict(
+        {
+            "schema": other.get("schema", TIMELINE_SCHEMA),
+            "backend": other.get("backend", "?"),
+            "clock": other.get("clock", "wall"),
+            "meta": other.get("meta", {}),
+            "spans": spans,
+            "markers": markers,
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# files
+# ---------------------------------------------------------------------------
+def write_trace(
+    timeline: Timeline,
+    path: Union[str, Path],
+    format: str = "chrome",
+) -> Path:
+    """Serialize ``timeline`` to ``path`` as ``chrome`` or ``ndjson``."""
+    path = Path(path)
+    if format == "chrome":
+        payload = timeline_to_chrome(timeline)
+        validate_chrome_trace(payload)  # never emit what we would refuse
+        path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    elif format == "ndjson":
+        path.write_text(timeline_to_ndjson(timeline), encoding="utf-8")
+    else:
+        raise ValueError(f"unknown trace format {format!r}; use 'chrome' or 'ndjson'")
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> Timeline:
+    """Load a trace file in any form ``repro trace`` writes.
+
+    Sniffs the content: a JSON object with ``traceEvents`` is a Chrome
+    trace, a JSON object with the timeline schema is a plain timeline
+    dict, anything line-oriented is NDJSON.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError:
+            obj = None
+        if isinstance(obj, dict):
+            if "traceEvents" in obj:
+                return chrome_to_timeline(obj)
+            if "spans" in obj:
+                return Timeline.from_dict(obj)
+    return timeline_from_ndjson(text)
+
+
+__all__ = [
+    "timeline_to_ndjson",
+    "timeline_from_ndjson",
+    "timeline_to_chrome",
+    "chrome_to_timeline",
+    "validate_chrome_trace",
+    "write_trace",
+    "load_trace",
+]

@@ -68,6 +68,9 @@ class ThreadRunResult:
     #: Fault counters observed by the channel layer (empty when the run
     #: carried no fault plan); see ``repro.runtime.faults``.
     faults: Dict[str, int] = field(default_factory=dict)
+    #: Wall-clock span/marker trace (a ``GanttTrace`` anchored at the
+    #: run's start) when the run was traced; ``None`` otherwise.
+    trace: Optional[Any] = None
 
     @property
     def reports(self) -> Dict[int, Any]:
@@ -117,13 +120,26 @@ def _interpret(
     barrier: threading.Barrier,
     results: Dict[int, Any],
     errors: Dict[int, BaseException],
+    tracer: Optional[Any] = None,
 ) -> None:
+    """Drive one rank's coroutine against real channels/barriers.
+
+    ``tracer`` is an optional :class:`repro.obs.trace.WallTracer`; when
+    present the interpreter records compute/idle/comm spans around the
+    effect boundaries (and ``Trace`` effects as markers) on the same
+    vocabulary the simulator uses.  With ``tracer=None`` the hot path
+    pays one ``is None`` test per effect.
+    """
     value: Any = None
     start = time.monotonic()
     busy = 0.0
+    # Start of the open work segment: everything since the last
+    # blocking effect (or the run start).  Inline effect handling --
+    # sends, drains, the Iterate branch's solver call -- counts as
+    # work; blocked waits (Recv/Barrier/Sleep) close the segment.
+    segment = start
     try:
         while True:
-            resumed = time.monotonic()
             try:
                 effect = coroutine.send(value)
             except StopIteration as stop:
@@ -139,10 +155,13 @@ def _interpret(
                 # stack across (the wall clock charges the time).
                 value = effect.solver.iterate()
             elif isinstance(effect, fx.Compute):
-                # The flops already ran, in real time, between the
-                # previous resume and this yield: that span is the
-                # rank's busy time.
-                busy += time.monotonic() - resumed
+                # The flops already ran, in real time, inside the open
+                # segment (the Iterate branch above or the coroutine's
+                # own numerics): that span is the rank's busy time.
+                now = time.monotonic()
+                busy += now - segment
+                if tracer is not None:
+                    tracer.span(rank, segment, now, "compute", effect.label)
                 # Yield the GIL at every iteration boundary: with
                 # vectorised kernels an iteration is far shorter than
                 # the interpreter's switch interval, and without an
@@ -150,11 +169,18 @@ def _interpret(
                 # freshness window while its peers (and their sends)
                 # never get scheduled.
                 time.sleep(0)
+                segment = time.monotonic()
                 value = None
             elif isinstance(effect, fx.Sleep):
+                waited = time.monotonic()
                 time.sleep(min(effect.seconds, _MAX_SLEEP))
+                segment = time.monotonic()
+                if tracer is not None:
+                    tracer.span(rank, waited, segment, "idle", effect.label)
                 value = None
             elif isinstance(effect, fx.Trace):
+                if tracer is not None:
+                    tracer.marker(rank, time.monotonic(), effect.kind, effect.info)
                 value = None
             elif isinstance(effect, fx.Send):
                 handle = fx.SendHandle()
@@ -171,12 +197,19 @@ def _interpret(
             elif isinstance(effect, fx.Drain):
                 value = hub.drain(rank, effect.tag)
             elif isinstance(effect, fx.Recv):
+                waited = time.monotonic()
                 value = hub.receive(
                     rank, effect.tag, count=effect.count, timeout=effect.timeout
                 )
+                segment = time.monotonic()
+                if tracer is not None:
+                    tracer.span(rank, waited, segment, "comm", "recv-wait")
             elif isinstance(effect, fx.Barrier):
+                waited = time.monotonic()
                 barrier.wait()
-                value = None
+                segment = time.monotonic()
+                if tracer is not None:
+                    tracer.span(rank, waited, segment, "idle", "barrier")
             else:
                 raise ThreadWorkerError(f"rank {rank}: unknown effect {effect!r}")
     except BaseException as exc:  # noqa: BLE001 - propagate to the join
@@ -188,6 +221,7 @@ def _run_threaded(
     n_ranks: int,
     timeout: float = 120.0,
     faults: Optional[Any] = None,
+    trace: bool = False,
 ) -> ThreadRunResult:
     """Execute ``n_ranks`` worker coroutines on real threads.
 
@@ -207,6 +241,11 @@ def _run_threaded(
         Optional :class:`repro.runtime.faults.ThreadFaultInjector`; the
         run's channels then honour the plan's loss/duplication/reorder/
         crash subset.
+    trace:
+        Record wall-clock compute/idle/comm spans per rank (one shared
+        :class:`~repro.obs.trace.WallTracer`, anchored at the run
+        start); the resulting ``GanttTrace`` rides on
+        :attr:`ThreadRunResult.trace`.
     """
     from repro.runtime.channels import ChannelHub
 
@@ -219,13 +258,19 @@ def _run_threaded(
         hub = FaultyChannelHub(n_ranks, faults)
     else:
         hub = ChannelHub(n_ranks)
+    tracer = None
+    if trace:
+        from repro.obs.trace import WallTracer
+
+        tracer = WallTracer()  # anchored now: spans measure the run
     barrier = threading.Barrier(n_ranks)
     results: Dict[int, Any] = {}
     errors: Dict[int, BaseException] = {}
     threads = [
         threading.Thread(
             target=_interpret,
-            args=(rank, make_coroutine(rank, n_ranks), hub, barrier, results, errors),
+            args=(rank, make_coroutine(rank, n_ranks), hub, barrier, results,
+                  errors, tracer),
             name=f"aiac-rank-{rank}",
             daemon=True,
         )
@@ -265,6 +310,7 @@ def _run_threaded(
     return ThreadRunResult(
         results=results, elapsed=elapsed, messages_sent=hub.messages_sent,
         faults=fault_counters,
+        trace=None if tracer is None else tracer.trace,
     )
 
 

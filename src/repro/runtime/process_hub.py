@@ -247,6 +247,7 @@ def _child_main(
     barrier: Any,
     done: Any,
     timeout: float,
+    trace: bool = False,
 ) -> None:
     """Entry point of one worker process (top-level: spawn pickles it)."""
     # Spawn-safety bootstrap: a spawned child starts with empty
@@ -278,6 +279,14 @@ def _child_main(
         t0 = time.monotonic()
         if injector is not None:
             injector.start(t0)
+        tracer = None
+        if trace:
+            from repro.obs.trace import WallTracer
+
+            # Anchor at the shared post-bootstrap barrier: every rank's
+            # spans then live on one common axis (CLOCK_MONOTONIC is
+            # system-wide), the same axis the fault plan uses.
+            tracer = WallTracer(anchor=t0)
         reports: Dict[int, Any] = {}
         errors: Dict[int, BaseException] = {}
         _interpret(
@@ -287,6 +296,7 @@ def _child_main(
             _TimeoutBarrier(barrier, timeout),
             reports,
             errors,
+            tracer,
         )
         if rank in errors:
             exc = errors[rank]
@@ -297,8 +307,12 @@ def _child_main(
             return
         endpoint.flush_delayed()
         counters = {} if injector is None else dict(injector.counters)
+        # Spans ship home as plain tuples (picklable, numpy-free) in the
+        # exit report; the parent merges them into one GanttTrace.
+        payload = None if tracer is None else tracer.payload()
         results.put(
-            ("ok", rank, reports[rank], counters, endpoint.messages_sent, t0)
+            ("ok", rank, reports[rank], counters, endpoint.messages_sent, t0,
+             payload)
         )
     except BaseException as exc:  # noqa: BLE001 - must reach the parent
         results.put(
@@ -360,6 +374,7 @@ def run_processes(
     scenario,
     timeout: float = 120.0,
     start_method: Optional[str] = None,
+    trace: bool = False,
 ) -> ThreadRunResult:
     """Execute a scenario with one OS process per rank.
 
@@ -380,6 +395,12 @@ def run_processes(
         ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
         ``"forkserver"``) or ``None`` for the platform default.  The
         backend is spawn-safe by construction (see module docstring).
+    trace:
+        Record wall-clock compute/idle/comm spans in every child; the
+        per-rank payloads ride home on the exit reports and are merged
+        into one ``GanttTrace`` on :attr:`ThreadRunResult.trace`.
+        Every rank anchors at the shared post-bootstrap barrier, so
+        the merged spans share one time axis.
     """
     n_ranks = scenario.n_ranks
     if n_ranks < 1:
@@ -394,7 +415,7 @@ def run_processes(
         ctx.Process(
             target=_child_main,
             args=(rank, n_ranks, scenario_dict, inboxes, results, barrier,
-                  done, timeout),
+                  done, timeout, trace),
             name=f"aiac-rank-{rank}",
             daemon=True,
         )
@@ -405,6 +426,7 @@ def run_processes(
     reports: Dict[int, Any] = {}
     counters_per_rank: Dict[int, Dict[str, int]] = {}
     anchors: List[float] = []
+    trace_payloads: List[Any] = []
     messages_sent = 0
     try:
         # Starting is inside the reaping scope: if spawning rank k
@@ -438,11 +460,13 @@ def run_processes(
                     f"rank {rank} failed: {summary}\n--- child traceback ---\n"
                     f"{detail}"
                 )
-            _, rank, report, counters, sent, child_t0 = outcome
+            _, rank, report, counters, sent, child_t0, span_payload = outcome
             reports[rank] = report
             counters_per_rank[rank] = counters
             messages_sent += sent
             anchors.append(child_t0)
+            if span_payload is not None:
+                trace_payloads.append(span_payload)
     except BaseException:
         done.set()
         _reap(processes)
@@ -458,11 +482,17 @@ def run_processes(
     for counters in counters_per_rank.values():
         for key, value in counters.items():
             fault_counters[key] = fault_counters.get(key, 0) + int(value)
+    merged_trace = None
+    if trace_payloads:
+        from repro.obs.trace import WallTracer
+
+        merged_trace = WallTracer.merge_payloads(trace_payloads)
     return ThreadRunResult(
         results=reports,
         elapsed=elapsed,
         messages_sent=messages_sent,
         faults=fault_counters,
+        trace=merged_trace,
     )
 
 

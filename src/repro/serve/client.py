@@ -144,6 +144,11 @@ class ServeClient:
     def stats(self) -> Dict[str, Any]:
         return self._call({"verb": "stats"})
 
+    def metrics(self) -> Dict[str, Any]:
+        """The scheduler's metrics snapshot (counters, gauges,
+        latency histograms, derived ratios); see ``docs/observability.md``."""
+        return self._call({"verb": "metrics"})["metrics"]
+
     def ping(self) -> bool:
         return bool(self._call({"verb": "ping"}).get("pong"))
 

@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.api.scenario import Scenario
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.executor import BackendTimeoutError
 from repro.serve.cache import ResultCache
 from repro.serve.protocol import (
@@ -98,6 +99,10 @@ class Scheduler:
             "retries": 0,
             "replayed": 0,
         }
+        #: Observability registry: queue/run latency histograms, queue
+        #: depth, worker utilization.  Served by the ``metrics`` verb
+        #: and folded into ``stats()``.
+        self.metrics = MetricsRegistry()
         self._journal: Optional[Journal] = None
         if state_dir is not None:
             state_dir = Path(state_dir)
@@ -119,6 +124,10 @@ class Scheduler:
                 job.state = QUEUED
             self._jobs[job.id] = job
             if job.state == QUEUED:
+                # Queue latency for a replayed job measures from *here*:
+                # monotonic readings never cross a process boundary, and
+                # the dead daemon's queueing time is unknowable anyway.
+                job.submitted_mono = time.monotonic()
                 self._queue.push(job)
                 self._by_key[job.key] = job.id
                 self.counters["replayed"] += 1
@@ -129,6 +138,14 @@ class Scheduler:
 
     def _log(self, event: Dict[str, Any]) -> None:
         if self._journal is not None:
+            # Every journal event carries when it happened: wall clock
+            # for operators reading the NDJSON, monotonic for latency
+            # math across events of one daemon process.  Replay ignores
+            # unknown keys, so journals written before these stamps (and
+            # journals written after them, read by older builds) both
+            # keep replaying.
+            event.setdefault("ts", time.time())
+            event.setdefault("mono", round(time.monotonic(), 6))
             self._journal.append(event)
 
     # ------------------------------------------------------------------
@@ -156,6 +173,10 @@ class Scheduler:
                 self._log({"event": DONE, "id": job.id, "cached": True})
                 self.counters["cache_hits"] += 1
                 self.counters["completed"] += 1
+                # A cache hit never waited: it still counts into the
+                # queue-latency distribution (as ~0) so the histogram
+                # reflects what submitters actually experienced.
+                self.metrics.histogram("queue_latency_s").observe(0.0)
                 return ok_frame(
                     id=job.id, state=DONE, key=key, cached=True, coalesced=False
                 )
@@ -178,6 +199,7 @@ class Scheduler:
             )
             self._queue.push(job)
             self._by_key[key] = job.id
+            self.metrics.gauge("queue_depth").set(len(self._queue))
             return ok_frame(
                 id=job.id, state=QUEUED, key=key, cached=False, coalesced=False
             )
@@ -191,6 +213,7 @@ class Scheduler:
             seq=self._next_seq,
             state=state,
             cached=cached,
+            submitted_mono=time.monotonic(),
         )
         self._next_id += 1
         self._next_seq += 1
@@ -240,7 +263,29 @@ class Scheduler:
                 counters=dict(self.counters),
                 cache=self.cache.stats(),
                 pool=self.pool.stats(),
+                metrics=self._metrics_payload(),
             )
+
+    def _metrics_payload(self) -> Dict[str, Any]:
+        """The registry snapshot plus the derived operational ratios."""
+        snapshot = self.metrics.snapshot()
+        submitted = self.counters["submitted"]
+        snapshot["derived"] = {
+            "cache_hit_rate": (
+                self.counters["cache_hits"] / submitted if submitted else 0.0
+            ),
+            "worker_utilization": _pool_utilization(self.pool.stats()),
+        }
+        # The lifecycle counters are metrics too; expose them under one
+        # namespace so scrapers need only this verb.
+        for name, value in self.counters.items():
+            snapshot["counters"][f"jobs.{name}"] = value
+        return snapshot
+
+    def metrics_frame(self) -> Dict[str, Any]:
+        """The ``metrics`` verb: just the registry snapshot."""
+        with self._lock:
+            return ok_frame(metrics=self._metrics_payload())
 
     # ------------------------------------------------------------------
     # dispatcher
@@ -258,7 +303,16 @@ class Scheduler:
                 if job is None:
                     break
                 job.state = RUNNING
+                job.started_mono = time.monotonic()
+                if job.submitted_mono:
+                    # Fresh jobs measure from submission, replayed jobs
+                    # from replay (see _replay); a job without a stamp
+                    # is skipped rather than charged a bogus wait.
+                    self.metrics.histogram("queue_latency_s").observe(
+                        job.started_mono - job.submitted_mono
+                    )
                 self.pool.dispatch(job.id, job.scenario)
+            self.metrics.gauge("queue_depth").set(len(self._queue))
         events = self.pool.poll(timeout=poll_timeout)
         with self._lock:
             for job_id, kind, payload in events:
@@ -282,6 +336,10 @@ class Scheduler:
             self._by_key.pop(job.key, None)
             self._log({"event": DONE, "id": job.id})
             self.counters["completed"] += 1
+            if job.started_mono:
+                self.metrics.histogram("run_latency_s").observe(
+                    time.monotonic() - job.started_mono
+                )
         elif kind == "failed":
             error = str(payload)
             self._attempt_failed(job_id, error, timed_out=is_timeout_error(error))
@@ -323,6 +381,8 @@ class Scheduler:
             return self.cancel(frame["id"])
         if verb == "stats":
             return self.stats()
+        if verb == "metrics":
+            return self.metrics_frame()
         if verb == "ping":
             return ok_frame(pong=True)
         raise ProtocolError(f"verb {verb!r} is not routable here")
@@ -498,6 +558,16 @@ class ServeDaemon:
             self.scheduler.pool.shutdown()
             self.scheduler.close()
             self._stopped.set()
+
+
+def _pool_utilization(pool_stats: Dict[str, Any]) -> float:
+    """Busy fraction of the worker pool, tolerant of stub pools."""
+    try:
+        workers = float(pool_stats.get("workers", 0))
+        busy = float(pool_stats.get("busy", 0))
+    except (TypeError, ValueError):
+        return 0.0
+    return busy / workers if workers else 0.0
 
 
 def tempfile_cache_dir() -> str:

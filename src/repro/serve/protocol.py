@@ -32,6 +32,12 @@ Request verbs
     their state).
 ``stats``
     Queue/cache/worker counters -- the service's operational surface.
+``metrics``
+    The scheduler's :class:`repro.obs.MetricsRegistry` snapshot --
+    queue-latency and run-latency histograms, queue depth, cache hit
+    rate, worker utilization -- plus the lifecycle counters.  ``stats``
+    folds the same snapshot in under ``"metrics"``; this verb returns
+    just the snapshot for scrapers.
 ``ping``
     Liveness probe (used to wait for a starting daemon).
 ``shutdown``
@@ -69,7 +75,8 @@ TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
 
 #: All request verbs the daemon understands.
 VERBS = frozenset(
-    {"submit", "status", "result", "cancel", "stats", "ping", "shutdown"}
+    {"submit", "status", "result", "cancel", "stats", "metrics", "ping",
+     "shutdown"}
 )
 
 #: Verbs that address one existing job and therefore require an ``id``.

@@ -43,6 +43,13 @@ class Job:
     cached: bool = False
     #: How many duplicate submissions were coalesced onto this job.
     coalesced: int = 0
+    #: Monotonic instants stamped by the scheduler (0.0 = not yet
+    #: stamped): acceptance (or replay -- monotonic readings never
+    #: cross a process boundary) and latest dispatch.  They feed the
+    #: queue/run latency histograms and are deliberately not part of
+    #: the wire status.
+    submitted_mono: float = 0.0
+    started_mono: float = 0.0
 
     @property
     def terminal(self) -> bool:

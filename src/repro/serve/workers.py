@@ -4,7 +4,16 @@ Each worker is an OS process with its *own* single-slot task queue --
 the parent decides placement, so it always knows which process holds
 which job and can terminate exactly that worker when the job's
 deadline passes or the job is cancelled (then respawn a fresh one).
-Completions flow back over one shared queue.
+Completions flow back over a *per-worker* event pipe, never a shared
+queue.  The distinction is load-bearing: a shared
+``multiprocessing.Queue`` serialises writers through one cross-process
+lock taken by each worker's background feeder thread, and a worker
+that dies abruptly (``os._exit``, OOM kill, segfault) can die with
+that lock held -- after which every surviving worker's completion
+post blocks forever and the pool wedges.  With one pipe per worker
+there is a single writer per channel, no shared lock to orphan, and
+a killed worker's half-written frame is discarded along with its
+pipe when the worker is replaced.
 
 The worker body is deliberately thin: rebuild the scenario from its
 dict, run it on the configured backend, post the
@@ -26,7 +35,7 @@ family error that crossed a process boundary as a string.
 from __future__ import annotations
 
 import multiprocessing
-import queue as queue_module
+import multiprocessing.connection
 import time
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -53,14 +62,18 @@ def is_timeout_error(error: str) -> bool:
 
 
 def _worker_main(
-    worker_id: int,
     task_queue: Any,
-    done_queue: Any,
+    events: Any,
     backend: Union[str, Any],
     backend_kwargs: Dict[str, Any],
     include_solution: bool = False,
 ) -> None:
-    """Run jobs forever: ``(job_id, scenario_dict)`` in, events out."""
+    """Run jobs forever: ``(job_id, scenario_dict)`` in, events out.
+
+    ``events`` is this worker's private pipe end; sends happen in the
+    main thread (no feeder thread), so a job that kills the process
+    can never strand a half-posted event in a background buffer.
+    """
     import repro.api  # noqa: F401 - repopulates registries under spawn
     from repro.api.backends import get_backend
     from repro.api.scenario import Scenario
@@ -75,12 +88,10 @@ def _worker_main(
         try:
             result = backend.run(Scenario.from_dict(scenario_dict))
             record = result.to_record(include_solution=include_solution)
-            done_queue.put((worker_id, job_id, "done", record))
+            events.send((job_id, "done", record))
         except BaseException as exc:  # noqa: BLE001 - reported per job
             try:
-                done_queue.put(
-                    (worker_id, job_id, "failed", f"{type(exc).__name__}: {exc}")
-                )
+                events.send((job_id, "failed", f"{type(exc).__name__}: {exc}"))
             except Exception:  # noqa: BLE001 - parent is gone; nothing to do
                 break
 
@@ -89,19 +100,23 @@ class _Worker:
     """One live worker process plus its current assignment."""
 
     def __init__(
-        self, worker_id: int, ctx, done_queue, backend, backend_kwargs,
+        self, worker_id: int, ctx, backend, backend_kwargs,
         include_solution: bool = False,
     ):
         self.id = worker_id
         self.task_queue = ctx.Queue()
+        self.events, events_send = ctx.Pipe(duplex=False)
         self.process = ctx.Process(
             target=_worker_main,
-            args=(worker_id, self.task_queue, done_queue, backend,
+            args=(self.task_queue, events_send, backend,
                   backend_kwargs, include_solution),
             name=f"repro-serve-worker-{worker_id}",
             daemon=False,
         )
         self.process.start()
+        # The parent holds only the read end; the child's copy is the
+        # sole writer, so worker death eventually reads as EOF here.
+        events_send.close()
         self.job_id: Optional[str] = None
         self.deadline: Optional[float] = None
 
@@ -134,6 +149,10 @@ class _Worker:
             pass  # unkillable (uninterruptible sleep); reaped by the OS later
         self.task_queue.cancel_join_thread()
         self.task_queue.close()
+        try:
+            self.events.close()
+        except OSError:
+            pass
 
 
 class WorkerPool:
@@ -175,7 +194,6 @@ class WorkerPool:
         self.include_solution = include_solution
         self._backend_kwargs = dict(backend_kwargs or {})
         self._ctx = multiprocessing.get_context(start_method)
-        self._done = self._ctx.Queue()
         self._next_worker_id = 0
         self._workers: Dict[int, _Worker] = {}
         self._respawns = 0
@@ -190,7 +208,6 @@ class WorkerPool:
         worker = _Worker(
             self._next_worker_id,
             self._ctx,
-            self._done,
             self.backend,
             self._backend_kwargs,
             self.include_solution,
@@ -225,8 +242,6 @@ class WorkerPool:
         for worker in list(self._workers.values()):
             worker.destroy()
         self._workers.clear()
-        self._done.cancel_join_thread()
-        self._done.close()
 
     # ------------------------------------------------------------------
     # dispatch / completion
@@ -250,24 +265,30 @@ class WorkerPool:
     def poll(self, timeout: float = 0.05) -> List[Tuple[str, str, Any]]:
         """Job events since the last poll: ``(job_id, kind, payload)``.
 
-        Blocks up to ``timeout`` for the first event, then drains
-        whatever else is ready.  Events from a worker that has since
-        been replaced (its job was cancelled or timed out) are
-        dropped -- the scheduler already settled that job.
+        Blocks up to ``timeout`` for the first ready worker pipe, then
+        reads one event from every pipe with data.  A worker posts at
+        most one unread event (it only gets its next job after the
+        event is consumed), so one ``recv`` per ready pipe drains
+        everything.  Events for a job the worker no longer owns (it
+        was cancelled or timed out and the worker reaped) cannot
+        arrive at all: the reaped worker's pipe died with it.
         """
         events: List[Tuple[str, str, Any]] = []
-        block = True
-        while True:
+        by_conn = {worker.events: worker for worker in self._workers.values()}
+        try:
+            ready = multiprocessing.connection.wait(
+                list(by_conn), timeout=timeout
+            )
+        except OSError:
+            ready = []
+        for conn in ready:
+            worker = by_conn[conn]
             try:
-                worker_id, job_id, kind, payload = self._done.get(
-                    timeout=timeout if block else 0.0
-                )
-            except queue_module.Empty:
-                break
-            block = False
-            worker = self._workers.get(worker_id)
-            if worker is None or worker.job_id != job_id:
-                continue  # stale: that worker was reaped for this very job
+                job_id, kind, payload = conn.recv()
+            except (EOFError, OSError):
+                continue  # worker died; the liveness sweep below settles it
+            if worker.job_id != job_id:
+                continue  # stale: the job was re-settled while in flight
             worker.release()
             events.append((job_id, kind, payload))
         for worker in list(self._workers.values()):

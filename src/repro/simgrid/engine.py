@@ -123,6 +123,19 @@ class Engine:
         """Number of events still queued (including cancelled ones)."""
         return len(self._queue)
 
+    def stats(self) -> dict:
+        """Flat engine counters for observability surfaces.
+
+        The one dict :meth:`repro.simgrid.world.World.stats` and the
+        obs layer fold into run metadata -- event totals live here so
+        every consumer reads the same numbers.
+        """
+        return {
+            "now": self._now,
+            "events": self._events_processed,
+            "pending_events": len(self._queue),
+        }
+
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------

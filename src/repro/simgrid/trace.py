@@ -124,6 +124,28 @@ class GanttTrace:
             cursor = max(cursor or 0.0, s.end)
         return gaps
 
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def export_spans(self) -> List[Span]:
+        """Spans in deterministic time order.
+
+        ``self.spans`` is insertion-ordered, and insertion order is an
+        artifact of interpreter scheduling (a span is recorded when it
+        *ends*, so a long span lands after the short ones it overlaps
+        -- and on the wall-clock backends, after whatever thread won
+        the race).  Exporters and timeline assembly sort here so two
+        runs of the same schedule serialize identically.
+        """
+        return sorted(
+            self.spans, key=lambda s: (s.start, s.end, s.rank, s.kind, s.label)
+        )
+
+    def export_markers(self) -> List[Marker]:
+        """Markers in deterministic time order (same contract as
+        :meth:`export_spans`)."""
+        return sorted(self.markers, key=lambda m: (m.time, m.rank, m.kind))
+
     def check_no_overlap(self, rank: int, kind: str = "compute") -> bool:
         """Invariant: a host computes at most one thing at a time."""
         spans = sorted(self.spans_for(rank, kind), key=lambda s: (s.start, s.end))

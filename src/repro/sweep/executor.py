@@ -32,6 +32,7 @@ in flight -- never a completed one.
 
 from __future__ import annotations
 
+import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
@@ -65,6 +66,9 @@ class SweepUnit:
     scenario: Dict[str, Any]
     indices: List[int] = field(default_factory=list)
     attempts: int = 0
+    #: Monotonic instant of the latest dispatch (0.0 = never dispatched);
+    #: feeds the ``unit_latency_s`` histogram when the unit settles.
+    dispatched_mono: float = 0.0
 
 
 @dataclass
@@ -86,6 +90,10 @@ class SweepOutcome:
     fingerprint: str
     journal_path: Optional[Path] = None
     state_dir: Optional[Path] = None
+    #: :meth:`repro.obs.MetricsRegistry.snapshot` of the run -- the
+    #: counters above as metric counters plus a ``unit_latency_s``
+    #: histogram over executed units and the sweep's wall time.
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def errors(self) -> List[Dict[str, Any]]:
@@ -186,10 +194,12 @@ def run_sweep(
         queue priority of this sweep's submissions.
     progress:
         Optional callback invoked after each settlement with a dict
-        (``key``, ``kind``, ``source``, ``completed``, ``distinct``).
-        Called *after* the settlement is durable, so a callback that
-        raises (or a process killed inside one) never loses settled
-        work.
+        (``key``, ``kind``, ``source``, ``completed``, ``distinct``,
+        plus pacing: ``elapsed_s``, ``rate`` in settlements/s and
+        ``eta_s``, the remaining-work estimate at the current rate,
+        ``None`` until a rate exists).  Called *after* the settlement
+        is durable, so a callback that raises (or a process killed
+        inside one) never loses settled work.
 
     Returns
     -------
@@ -273,23 +283,43 @@ def run_sweep(
 
     # key -> ("done", record) | ("failed", {"error", "traceback"?})
     settled: Dict[str, Any] = {}
+    from repro.obs.metrics import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    sweep_started = time.monotonic()
 
     def notify(key: str, kind: str, source: str) -> None:
-        if progress is not None:
-            progress(
-                {
-                    "key": key,
-                    "kind": kind,
-                    "source": source,
-                    "completed": len(settled),
-                    "distinct": counters["distinct"],
-                }
+        if progress is None:
+            return
+        completed = len(settled)
+        elapsed = time.monotonic() - sweep_started
+        rate = completed / elapsed if elapsed > 0 else 0.0
+        remaining = counters["distinct"] - completed
+        progress(
+            {
+                "key": key,
+                "kind": kind,
+                "source": source,
+                "completed": completed,
+                "distinct": counters["distinct"],
+                "elapsed_s": round(elapsed, 3),
+                "rate": round(rate, 3),
+                "eta_s": round(remaining / rate, 3) if rate > 0 else None,
+            }
+        )
+
+    def _observe_unit(unit: SweepUnit) -> None:
+        if unit.dispatched_mono:
+            metrics.histogram("unit_latency_s").observe(
+                time.monotonic() - unit.dispatched_mono
             )
 
     def settle_done(unit: SweepUnit, record: Dict[str, Any], source: str) -> None:
         if source == SOURCE_EXECUTED and state is not None:
             state.cache.put(unit.key, record)
             state.record_done(unit.key)
+        if source == SOURCE_EXECUTED:
+            _observe_unit(unit)
         settled[unit.key] = ("done", record)
         notify(unit.key, "done", source)
 
@@ -298,6 +328,8 @@ def run_sweep(
         counters["failed"] += 1
         if source == SOURCE_EXECUTED and state is not None:
             state.record_failed(unit.key, info["error"])
+        if source == SOURCE_EXECUTED:
+            _observe_unit(unit)
         settled[unit.key] = ("failed", info)
         notify(unit.key, "failed", source)
 
@@ -361,6 +393,7 @@ def run_sweep(
                     while queue and strategy.capacity > 0:
                         unit = queue.popleft()
                         unit.attempts += 1
+                        unit.dispatched_mono = time.monotonic()
                         inflight[unit.key] = unit
                         strategy.submit(unit.key, unit.scenario)
                     for key, kind, payload in strategy.poll(timeout=0.05):
@@ -407,12 +440,16 @@ def run_sweep(
                 record["traceback"] = payload["traceback"]
             records.append(record)
 
+    for name, value in counters.items():
+        metrics.counter(f"sweep.{name}").inc(value)
+    metrics.gauge("sweep.elapsed_s").set(time.monotonic() - sweep_started)
     return SweepOutcome(
         records=records,
         counters=counters,
         fingerprint=fingerprint,
         journal_path=state.journal_path if state is not None else None,
         state_dir=Path(state_dir) if state_dir is not None else None,
+        metrics=metrics.snapshot(),
     )
 
 

@@ -82,6 +82,33 @@ def test_sweep_pair_counters_bit_identical():
     assert scalar["counters"]["total_iterations"] > 0
 
 
+def test_trace_pair_guard():
+    """The tracer-overhead pair: tracing must not change the work, and
+    tracing *disabled* must cost nothing measurable.
+
+    The counters of the plain case, the trace-off case and the trace-on
+    case are bitwise identical (observation never perturbs the
+    simulation).  The timing leg of the guard is deliberately loose
+    here (shared CI boxes jitter); the <5% disabled-overhead record
+    lives in the BENCH ledger, where repeats and a quiet machine make
+    the number meaningful.
+    """
+    cases = {c.name: c for c in select_cases(pattern="sparse_pm2_n600_r4")}
+    off = cases["scenario/sparse_pm2_n600_r4_trace_off"]
+    on = cases["scenario/sparse_pm2_n600_r4_trace_on"]
+    plain = cases["scenario/sparse_pm2_n600_r4"]
+    assert "trace_pair" in off.tags and "trace_pair" in on.tags
+    assert off.scenario == on.scenario == plain.scenario
+
+    plain_run = run_case(plain, repeats=3)
+    off_run = run_case(off, repeats=3)
+    on_run = run_case(on, repeats=3)
+    assert plain_run["counters"] == off_run["counters"] == on_run["counters"]
+    # Disabled tracing is one None/bool check on the hot path: the off
+    # case must time like the plain case (3x is pure flake headroom).
+    assert off_run["min_s"] < plain_run["min_s"] * 3.0
+
+
 # ----------------------------------------------------------------------
 # schema validity of emitted JSON
 # ----------------------------------------------------------------------

@@ -342,11 +342,12 @@ def _run_child_inline(scenario):
 
 def test_child_main_reports_a_worker_result():
     scenario = SMALL.derive(n_ranks=1)
-    status, rank, report, counters, sent, t0 = _run_child_inline(scenario)
+    status, rank, report, counters, sent, t0, spans = _run_child_inline(scenario)
     assert (status, rank) == ("ok", 0)
     assert report.converged
     assert counters == {} and sent == 0  # single rank: nothing on the wire
     assert t0 <= time.monotonic()  # the post-bootstrap barrier anchor
+    assert spans is None  # tracing off by default
 
 
 def test_child_main_reports_errors_with_traceback():

@@ -431,3 +431,51 @@ class TestPlanFingerprint:
         assert list(state_dir.glob("sweep-*.prev"))
         assert outcome.counters["cache_hits"] == 1
         assert outcome.counters["executed"] == 0
+
+
+# ---------------------------------------------------------------------------
+# observability: progress pacing fields and the outcome metrics snapshot
+# ---------------------------------------------------------------------------
+
+class TestSweepObservability:
+    def _grid(self):
+        base = Scenario(problem="sparse_linear", problem_params={"n": 40},
+                        environment="pm2", n_ranks=2, seed=0)
+        return [base.derive(problem_params__n=n) for n in (40, 44, 48)]
+
+    def test_progress_events_carry_pacing(self):
+        events = []
+        run_sweep(self._grid(), progress=events.append)
+        assert len(events) == 3
+        for event in events:
+            assert event["elapsed_s"] >= 0.0
+            assert event["rate"] >= 0.0
+            assert event["eta_s"] is None or event["eta_s"] >= 0.0
+        # The last settlement leaves no remaining work.
+        last = events[-1]
+        assert last["completed"] == last["distinct"] == 3
+        assert last["eta_s"] in (None, 0.0)
+        # completed is monotone across events.
+        completed = [e["completed"] for e in events]
+        assert completed == sorted(completed)
+
+    def test_outcome_metrics_snapshot(self):
+        outcome = run_sweep(self._grid())
+        metrics = outcome.metrics
+        assert metrics["counters"]["sweep.executed"] == 3
+        assert metrics["counters"]["sweep.distinct"] == 3
+        assert metrics["gauges"]["sweep.elapsed_s"] > 0.0
+        latency = metrics["histograms"]["unit_latency_s"]
+        assert latency["count"] == 3
+        assert latency["sum"] > 0.0
+
+    def test_cache_hits_do_not_enter_unit_latency(self, tmp_path):
+        grid = self._grid()
+        state_dir = tmp_path / "state"
+        run_sweep(grid, state_dir=state_dir)
+        again = run_sweep(grid, state_dir=state_dir)
+        assert again.counters["cache_hits"] == 3
+        # Nothing executed: the latency histogram of executed units is
+        # absent (or empty), not polluted with ~0s cache lookups.
+        latency = again.metrics["histograms"].get("unit_latency_s", {"count": 0})
+        assert latency["count"] == 0
