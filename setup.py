@@ -35,10 +35,18 @@ setup(
     license="MIT",
     package_dir={"": "src"},
     packages=find_packages("src"),
+    # Fitted calibration presets ship with the package so the
+    # `calibrated_threaded_local` cluster (and any future fits) are
+    # available at import time; see docs/calibration.md.
+    package_data={"repro.calibrate": ["data/*.json"]},
     python_requires=">=3.9",
     install_requires=["numpy>=1.21"],
     extras_require={
         "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        # `repro calibrate fit` upgrades its local-search stage to TPE
+        # when optuna is importable; everything degrades cleanly to the
+        # built-in coordinate descent without it.
+        "optuna": ["optuna>=3.0"],
     },
     entry_points={
         "console_scripts": ["repro=repro.cli:main"],

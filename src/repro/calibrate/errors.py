@@ -1,0 +1,24 @@
+"""Calibration failure modes, importable without the heavy machinery.
+
+This module deliberately imports nothing from the rest of the library:
+:mod:`repro.calibrate.presets` (itself imported during
+``repro.clusters`` initialisation) and the heavyweight
+measure/objective/search modules all share these exception types, so
+they must sit below everything else in the package.
+"""
+
+from __future__ import annotations
+
+
+class CalibrationError(RuntimeError):
+    """A calibration stage cannot proceed (bad reference, failed run,
+    missing optional dependency requested explicitly, ...)."""
+
+
+class CalibrationDriftError(CalibrationError):
+    """The drift check failed: re-scoring a fitted preset against its
+    reference landed outside the recorded tolerance -- the simulator's
+    behaviour (or the preset file) has drifted since the fit."""
+
+
+__all__ = ["CalibrationError", "CalibrationDriftError"]

@@ -1,0 +1,459 @@
+"""Staged calibration search: validate, warm-start, local, distributed.
+
+The workflow follows the LASER calibration recipe (see SNIPPETS.md):
+
+1. **validate** -- score the starting point once, end to end, so a
+   broken reference or scenario fails fast and the uncalibrated
+   baseline error is on record;
+2. **warm start** -- a closed-form speed estimate: simulated makespan
+   is affine in ``1/speed`` for a lockstep battery, so two probe
+   evaluations solve for the speed that hits the measured makespan;
+3. **local search** -- seeded coordinate descent over the (log-scale)
+   parameters; or, when Optuna is installed (``pip install
+   repro-aiac[optuna]``), a seeded TPE study followed by a short
+   descent polish.  Both paths are deterministic for a fixed seed;
+4. **distributed search** (optional) -- fan a candidate grid through
+   :func:`repro.sweep.run_sweep`, one simulated unit per
+   (candidate, battery entry), and keep the best-scoring candidate.
+
+Every stage only ever perturbs *parameter values*; the battery's
+scenario structure is fixed by the reference.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.calibrate.errors import CalibrationError
+from repro.calibrate.objective import DEFAULT_PARAMS, CalibrationObjective
+
+#: Hard search-space bounds per parameter (values are clamped, never
+#: rejected): effective flop rates from hopeless to heroic, latencies
+#: from 100ns to 1s, bandwidths from 1KB/s to 1TB/s.
+BOUNDS: Dict[str, Tuple[float, float]] = {
+    "speed": (1.0e4, 1.0e13),
+    "latency": (1.0e-7, 1.0),
+    "bandwidth": (1.0e3, 1.0e12),
+}
+
+
+def clamp_params(params: Mapping[str, float]) -> Dict[str, float]:
+    """Clamp every parameter into its :data:`BOUNDS` box."""
+    out = {}
+    for key, value in params.items():
+        lo, hi = BOUNDS.get(key, (1.0e-12, 1.0e15))
+        out[key] = min(max(float(value), lo), hi)
+    return out
+
+
+def have_optuna():
+    """The ``optuna`` module, or ``None`` when the extra is absent."""
+    try:
+        import optuna  # type: ignore[import-not-found]
+    except ImportError:
+        return None
+    return optuna
+
+
+@dataclass
+class FitResult:
+    """Everything a fit produced, JSON-safe via :meth:`to_dict`."""
+
+    params: Dict[str, float]
+    score: float
+    max_makespan_error: float
+    baseline_params: Dict[str, float]
+    baseline_score: float
+    baseline_max_makespan_error: float
+    evaluations: int
+    seed: int
+    stages: List[Dict[str, Any]] = field(default_factory=list)
+    report: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "params": dict(self.params),
+            "score": self.score,
+            "max_makespan_error": self.max_makespan_error,
+            "baseline_params": dict(self.baseline_params),
+            "baseline_score": self.baseline_score,
+            "baseline_max_makespan_error": self.baseline_max_makespan_error,
+            "evaluations": self.evaluations,
+            "seed": self.seed,
+            "stages": list(self.stages),
+            "report": dict(self.report),
+        }
+
+
+# ----------------------------------------------------------------------
+# stage 1: validate
+# ----------------------------------------------------------------------
+def validate_single(
+    objective: CalibrationObjective, params: Mapping[str, float]
+) -> Dict[str, Any]:
+    """One full evaluation of the starting point; sanity-check it."""
+    report = objective.evaluate(params)
+    for detail in report["entries"]:
+        if not detail["simulated_s"] > 0:
+            raise CalibrationError(
+                f"validation run {detail['name']!r} produced a "
+                f"non-positive simulated makespan ({detail['simulated_s']}); "
+                "the battery scenario does not exercise the simulator"
+            )
+    return report
+
+
+# ----------------------------------------------------------------------
+# stage 2: warm start
+# ----------------------------------------------------------------------
+def warm_start_speed(
+    objective: CalibrationObjective,
+    params: Mapping[str, float],
+    probe_factor: float = 4.0,
+) -> Tuple[Dict[str, float], Dict[str, Any]]:
+    """Closed-form speed estimate from two probe evaluations.
+
+    For a lockstep battery the simulated makespan decomposes as
+    ``A/speed + B`` (compute + speed-independent communication), so two
+    probes at ``s1`` and ``s2`` solve for ``A`` and ``B`` per entry,
+    and ``A / (measured - B)`` is the speed that lands the entry
+    exactly on its measured makespan.  The geometric mean over entries
+    seeds the local search within a decade of the optimum.  Falls back
+    to the input parameters when the solve degenerates (e.g. measured
+    makespan below the communication floor ``B``).
+    """
+    params = clamp_params(params)
+    first = objective.evaluate(params)
+    s1 = params["speed"]
+    s2 = clamp_params({"speed": s1 * probe_factor})["speed"]
+    if s2 == s1:
+        return dict(params), first
+    second = objective.evaluate({**params, "speed": s2})
+
+    estimates = []
+    for d1, d2, entry in zip(
+        first["entries"], second["entries"], objective.entries
+    ):
+        measured = float(entry["makespan_s"])
+        a = (d1["simulated_s"] - d2["simulated_s"]) / (1.0 / s1 - 1.0 / s2)
+        b = d1["simulated_s"] - a / s1
+        if a > 0 and measured > b:
+            estimates.append(a / (measured - b))
+    if not estimates:
+        return dict(params), first
+
+    geo = math.exp(sum(math.log(e) for e in estimates) / len(estimates))
+    warmed = clamp_params({**params, "speed": geo})
+    return warmed, objective.evaluate(warmed)
+
+
+# ----------------------------------------------------------------------
+# stage 3a: coordinate descent
+# ----------------------------------------------------------------------
+def coordinate_descent(
+    objective: CalibrationObjective,
+    initial: Mapping[str, float],
+    seed: int = 0,
+    max_rounds: int = 12,
+    step: float = 2.0,
+    min_step: float = 1.02,
+    log: Optional[Callable[[str], None]] = None,
+) -> Tuple[Dict[str, float], Dict[str, Any]]:
+    """Seeded multiplicative coordinate descent on the log scale.
+
+    Each round tries ``x*step`` and ``x/step`` for every parameter (in
+    an order shuffled by the seeded RNG, so no coordinate is
+    structurally favoured); a round without improvement shrinks the
+    step towards 1 until it drops below ``min_step``.  Deterministic
+    for a fixed ``(objective, initial, seed)``.
+    """
+    if step <= 1.0:
+        raise ValueError("step must be > 1 (multiplicative)")
+    rng = random.Random(seed)
+    params = clamp_params(initial)
+    best = objective.evaluate(params)
+    keys = sorted(params)
+    step_now = step
+    for round_index in range(max_rounds):
+        order = keys[:]
+        rng.shuffle(order)
+        improved = False
+        for key in order:
+            for candidate_value in (params[key] * step_now, params[key] / step_now):
+                candidate = clamp_params({**params, key: candidate_value})
+                if candidate[key] == params[key]:
+                    continue
+                trial = objective.evaluate(candidate)
+                if trial["score"] < best["score"] - 1e-12:
+                    params, best, improved = candidate, trial, True
+        if log is not None:
+            log(
+                f"descent round {round_index + 1}: score={best['score']:.4f} "
+                f"step={step_now:.3f}"
+            )
+        if not improved:
+            step_now = math.sqrt(step_now)
+            if step_now < min_step:
+                break
+    return params, best
+
+
+# ----------------------------------------------------------------------
+# stage 3b: optuna (optional)
+# ----------------------------------------------------------------------
+def optuna_search(
+    objective: CalibrationObjective,
+    center: Mapping[str, float],
+    n_trials: int = 32,
+    seed: int = 0,
+    spread: float = 16.0,
+) -> Tuple[Dict[str, float], Dict[str, Any]]:
+    """Seeded TPE study over a log-uniform box around ``center``.
+
+    Raises :class:`CalibrationError` when optuna is not installed --
+    callers that merely *prefer* optuna should check
+    :func:`have_optuna` first (as :func:`fit` does).
+    """
+    optuna = have_optuna()
+    if optuna is None:
+        raise CalibrationError(
+            "optuna is not installed; install the extra "
+            "(pip install repro-aiac[optuna]) or drop --optuna to use "
+            "the built-in coordinate descent"
+        )
+    optuna.logging.set_verbosity(optuna.logging.WARNING)
+    center = clamp_params(center)
+    keys = sorted(center)
+    study = optuna.create_study(
+        direction="minimize",
+        sampler=optuna.samplers.TPESampler(seed=seed),
+    )
+
+    def objective_fn(trial):
+        params = {}
+        for key in keys:
+            lo, hi = BOUNDS.get(key, (1.0e-12, 1.0e15))
+            params[key] = trial.suggest_float(
+                key,
+                max(center[key] / spread, lo),
+                min(center[key] * spread, hi),
+                log=True,
+            )
+        return objective.score(params)
+
+    study.optimize(objective_fn, n_trials=n_trials)
+    best = clamp_params({key: study.best_params[key] for key in keys})
+    return best, objective.evaluate(best)
+
+
+# ----------------------------------------------------------------------
+# stage 4: distributed search through the sweep executor
+# ----------------------------------------------------------------------
+def candidate_grid(
+    center: Mapping[str, float],
+    n_candidates: int,
+    seed: int = 0,
+    spread: float = 4.0,
+) -> List[Dict[str, float]]:
+    """``n_candidates`` log-uniform perturbations of ``center``.
+
+    The center itself is always candidate 0, so a distributed stage can
+    never return something worse than its input.
+    """
+    if n_candidates < 1:
+        raise ValueError("need at least one candidate")
+    rng = random.Random(seed)
+    center = clamp_params(center)
+    keys = sorted(center)
+    candidates = [dict(center)]
+    while len(candidates) < n_candidates:
+        candidates.append(
+            clamp_params(
+                {
+                    key: center[key] * spread ** rng.uniform(-1.0, 1.0)
+                    for key in keys
+                }
+            )
+        )
+    return candidates
+
+
+def distributed_search(
+    objective: CalibrationObjective,
+    center: Mapping[str, float],
+    n_candidates: int = 16,
+    seed: int = 0,
+    spread: float = 4.0,
+    placement: str = "local",
+    processes: int = 1,
+    state_dir: Optional[Union[str, Path]] = None,
+) -> Tuple[Dict[str, float], Dict[str, Any], List[Dict[str, Any]]]:
+    """Score a candidate grid through :func:`repro.sweep.run_sweep`.
+
+    Builds one simulated unit per (candidate, battery entry) -- all
+    distinct content hashes, since each candidate's ``cluster_params``
+    differ -- and reassembles per-candidate scores from the records via
+    :meth:`CalibrationObjective.evaluate_records`.  With a
+    ``state_dir`` the sweep journals and resumes like any other.
+    """
+    from repro.api.backends import SimulatedBackend
+    from repro.sweep import run_sweep
+
+    candidates = candidate_grid(center, n_candidates, seed=seed, spread=spread)
+    grid = [
+        objective.scenario_for(index, candidate).derive(
+            name=f"cal-c{c_index:03d}-e{index}"
+        )
+        for c_index, candidate in enumerate(candidates)
+        for index in range(len(objective.entries))
+    ]
+    outcome = run_sweep(
+        grid,
+        backend=SimulatedBackend(timeline=True),
+        placement=placement,
+        processes=processes,
+        state_dir=state_dir,
+    )
+    per_entry = len(objective.entries)
+    scored = []
+    for c_index, candidate in enumerate(candidates):
+        records = outcome.records[c_index * per_entry : (c_index + 1) * per_entry]
+        scored.append(objective.evaluate_records(candidate, records))
+    best = min(scored, key=lambda report: report["score"])
+    return dict(best["params"]), best, scored
+
+
+# ----------------------------------------------------------------------
+# the staged driver
+# ----------------------------------------------------------------------
+def fit(
+    reference: Union[str, Path, Mapping[str, Any], CalibrationObjective],
+    initial: Optional[Mapping[str, float]] = None,
+    seed: int = 0,
+    rounds: int = 12,
+    step: float = 2.0,
+    candidates: int = 0,
+    spread: float = 4.0,
+    placement: str = "local",
+    processes: int = 1,
+    state_dir: Optional[Union[str, Path]] = None,
+    use_optuna: Optional[bool] = None,
+    optuna_trials: int = 32,
+    util_weight: float = 0.5,
+    cluster: str = "calibrated",
+    log: Optional[Callable[[str], None]] = None,
+) -> FitResult:
+    """Run the full staged workflow and return a :class:`FitResult`.
+
+    ``use_optuna``: ``None`` (default) uses optuna when importable,
+    ``True`` requires it (raising :class:`CalibrationError` when
+    absent), ``False`` never touches it.  ``candidates > 0`` enables
+    the distributed stage with that grid size.
+    """
+    emit = log or (lambda message: None)
+    if isinstance(reference, CalibrationObjective):
+        objective = reference
+    else:
+        objective = CalibrationObjective(
+            reference, cluster=cluster, util_weight=util_weight
+        )
+
+    baseline_params = clamp_params({**DEFAULT_PARAMS, **dict(initial or {})})
+    stages: List[Dict[str, Any]] = []
+
+    baseline = validate_single(objective, baseline_params)
+    stages.append({"stage": "validate", "score": baseline["score"]})
+    emit(
+        f"validate: baseline score={baseline['score']:.4f} "
+        f"max_makespan_error={baseline['max_makespan_error']:.2%}"
+    )
+
+    params, current = warm_start_speed(objective, baseline_params)
+    stages.append(
+        {"stage": "warm_start", "score": current["score"], "params": dict(params)}
+    )
+    emit(f"warm start: speed={params['speed']:.3e} score={current['score']:.4f}")
+
+    optuna_module = have_optuna()
+    if use_optuna is True and optuna_module is None:
+        raise CalibrationError(
+            "optuna was explicitly requested but is not installed; "
+            "pip install repro-aiac[optuna]"
+        )
+    if optuna_module is not None and use_optuna is not False:
+        params, current = optuna_search(
+            objective, params, n_trials=optuna_trials, seed=seed
+        )
+        stages.append(
+            {"stage": "optuna", "score": current["score"], "params": dict(params)}
+        )
+        emit(f"optuna: score={current['score']:.4f} ({optuna_trials} trials)")
+        polish_rounds = max(2, rounds // 3)
+    else:
+        polish_rounds = rounds
+
+    params, current = coordinate_descent(
+        objective, params, seed=seed, max_rounds=polish_rounds, step=step, log=log
+    )
+    stages.append(
+        {"stage": "descent", "score": current["score"], "params": dict(params)}
+    )
+    emit(f"descent: score={current['score']:.4f}")
+
+    if candidates > 0:
+        best_params, best_report, _ = distributed_search(
+            objective,
+            params,
+            n_candidates=candidates,
+            seed=seed,
+            spread=spread,
+            placement=placement,
+            processes=processes,
+            state_dir=state_dir,
+        )
+        if best_report["score"] < current["score"]:
+            # The sweep scored from records; re-evaluate in-process so
+            # the final report and evaluation counter stay consistent.
+            params, current = coordinate_descent(
+                objective, best_params, seed=seed, max_rounds=2, step=step
+            )
+        stages.append(
+            {
+                "stage": "distributed",
+                "score": current["score"],
+                "candidates": candidates,
+            }
+        )
+        emit(f"distributed: score={current['score']:.4f} ({candidates} candidates)")
+
+    return FitResult(
+        params=dict(params),
+        score=current["score"],
+        max_makespan_error=current["max_makespan_error"],
+        baseline_params=dict(baseline_params),
+        baseline_score=baseline["score"],
+        baseline_max_makespan_error=baseline["max_makespan_error"],
+        evaluations=objective.evaluations,
+        seed=seed,
+        stages=stages,
+        report=current,
+    )
+
+
+__all__ = [
+    "BOUNDS",
+    "FitResult",
+    "clamp_params",
+    "have_optuna",
+    "validate_single",
+    "warm_start_speed",
+    "coordinate_descent",
+    "optuna_search",
+    "candidate_grid",
+    "distributed_search",
+    "fit",
+]

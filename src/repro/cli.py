@@ -75,6 +75,16 @@ local|pool|serve] [--processes N] [--state-dir DIR] [--resume]
     the ASCII report: per-rank utilization table, Gantt chart,
     iteration-marker counts.
 
+``repro calibrate (measure | fit | check) ...``
+    Fit the simulator to this machine (:mod:`repro.calibrate`):
+    ``measure`` runs a calibration battery on a wall-clock backend and
+    writes the environment-fingerprinted reference JSON; ``fit`` runs
+    the staged search (validate, warm start, coordinate descent or
+    Optuna, optional distributed candidate sweeps) against a reference
+    and emits a fitted cluster preset; ``check`` re-scores a preset
+    against its embedded reference and fails on drift.  See
+    ``docs/calibration.md``.
+
 Exit status: 0 on success, 1 on scenario/conformance failures, 2 on
 bad input, 3 on benchmark regressions.
 """
@@ -559,6 +569,154 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_calibrate_measure(args: argparse.Namespace) -> int:
+    from repro.calibrate import (
+        BATTERIES,
+        CalibrationError,
+        measure_battery,
+        write_reference,
+    )
+
+    if args.repeats < 1:
+        print(f"error: --repeats must be >= 1, got {args.repeats}",
+              file=sys.stderr)
+        return 2
+    if args.battery not in BATTERIES:
+        print(f"error: unknown battery {args.battery!r}; "
+              f"known: {', '.join(sorted(BATTERIES))}", file=sys.stderr)
+        return 2
+
+    def progress(entry) -> None:
+        print(
+            f"{entry['scenario']['name']:<28} "
+            f"makespan {entry['makespan_s']:8.3f}s  "
+            f"iters {entry['iterations']:>4}  "
+            f"share {['%.3f' % s for s in entry['compute_share']]}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        reference = measure_battery(
+            args.battery,
+            backend=args.backend,
+            repeats=args.repeats,
+            timeout=args.timeout,
+            progress=progress,
+        )
+    except (CalibrationError, KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    path = write_reference(args.out, reference)
+    print(
+        f"wrote {len(reference['entries'])}-entry reference to {path} "
+        f"(backend={reference['backend']}, repeats={reference['repeats']})"
+    )
+    return 0
+
+
+def _cmd_calibrate_fit(args: argparse.Namespace) -> int:
+    from repro.calibrate import (
+        CalibrationError,
+        build_preset,
+        fit,
+        load_reference,
+        write_preset,
+    )
+
+    try:
+        reference = load_reference(args.reference)
+    except (OSError, json.JSONDecodeError, CalibrationError) as exc:
+        print(f"error: cannot load reference {args.reference}: {exc}",
+              file=sys.stderr)
+        return 2
+    use_optuna = {"auto": None, "yes": True, "no": False}[args.optuna]
+    try:
+        result = fit(
+            reference,
+            seed=args.seed,
+            rounds=args.rounds,
+            step=args.step,
+            candidates=args.candidates,
+            placement=args.placement,
+            processes=args.processes,
+            use_optuna=use_optuna,
+            optuna_trials=args.optuna_trials,
+            util_weight=args.util_weight,
+            log=lambda message: print(message, file=sys.stderr, flush=True),
+        )
+    except (CalibrationError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    preset = build_preset(
+        args.name,
+        result,
+        reference,
+        util_weight=args.util_weight,
+        makespan_tolerance=args.makespan_tolerance,
+    )
+    path = write_preset(args.out, preset)
+    print(
+        f"fitted {args.name!r} in {result.evaluations} evaluation(s): "
+        f"max makespan error {result.max_makespan_error:.2%} "
+        f"(uncalibrated baseline {result.baseline_max_makespan_error:.2%}); "
+        f"wrote {path}"
+    )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote fit report to {args.report}")
+    if result.max_makespan_error > args.makespan_tolerance:
+        print(
+            f"error: fitted makespan error {result.max_makespan_error:.2%} "
+            f"exceeds the {args.makespan_tolerance:.0%} tolerance",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_calibrate_check(args: argparse.Namespace) -> int:
+    from repro.calibrate import CalibrationError, check_drift
+
+    try:
+        report = check_drift(
+            args.preset,
+            makespan_tolerance=args.makespan_tolerance,
+            score_tolerance=args.score_tolerance,
+        )
+    except (OSError, json.JSONDecodeError, CalibrationError) as exc:
+        print(f"error: cannot check {args.preset}: {exc}", file=sys.stderr)
+        return 2
+    for entry in report["entries"]:
+        print(
+            f"{entry['name']:<28} sim {entry['simulated_s']:8.3f}s  "
+            f"meas {entry['measured_s']:8.3f}s  "
+            f"err {entry['makespan_error']:7.2%}"
+        )
+    print(
+        f"preset {report['name']!r}: score {report['score']:.4f} "
+        f"(recorded {report['recorded_score']:.4f}, drift "
+        f"{report['score_drift']:.4f} <= {report['score_tolerance']}), "
+        f"max makespan error {report['max_makespan_error']:.2%} "
+        f"(tolerance {report['makespan_tolerance']:.0%})"
+    )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote drift report to {args.report}")
+    if not report["ok"]:
+        print(f"error: preset {report['name']!r} drifted out of tolerance",
+              file=sys.stderr)
+        return 1
+    print("calibration: preset within tolerance")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for doc/tests)."""
     parser = argparse.ArgumentParser(
@@ -919,6 +1077,134 @@ def build_parser() -> argparse.ArgumentParser:
         help="Gantt width in characters (default: 72)",
     )
     report_parser.set_defaults(func=_cmd_report)
+
+    calibrate_parser = subparsers.add_parser(
+        "calibrate",
+        help="fit the simulator's cluster parameters to measured backends",
+        description=(
+            "Calibration workflow (repro.calibrate): `measure` runs a "
+            "battery of scenarios on a wall-clock backend and records "
+            "makespans + per-rank compute shape as a reference; `fit` "
+            "searches the `calibrated` cluster's parameters until the "
+            "simulator reproduces the reference and emits a loadable "
+            "preset; `check` re-scores a preset against its embedded "
+            "reference and fails on drift. See docs/calibration.md."
+        ),
+    )
+    calibrate_sub = calibrate_parser.add_subparsers(
+        dest="calibrate_command", required=True
+    )
+
+    measure_parser = calibrate_sub.add_parser(
+        "measure",
+        help="run a calibration battery on a real backend and write the "
+        "reference JSON",
+    )
+    measure_parser.add_argument(
+        "--battery", default="default",
+        help="battery name: default or tiny (default: default)",
+    )
+    measure_parser.add_argument(
+        "--backend", default="threaded",
+        help="wall-clock backend to measure (default: threaded)",
+    )
+    measure_parser.add_argument(
+        "--repeats", type=int, default=3, metavar="K",
+        help="runs per scenario; the median supplies the shape (default: 3)",
+    )
+    measure_parser.add_argument(
+        "--timeout", type=float, default=120.0, metavar="T",
+        help="per-run timeout in seconds (default: 120)",
+    )
+    measure_parser.add_argument(
+        "--out", default="calibration_reference.json", metavar="PATH",
+        help="reference output path (default: calibration_reference.json)",
+    )
+    measure_parser.set_defaults(func=_cmd_calibrate_measure)
+
+    fit_parser = calibrate_sub.add_parser(
+        "fit",
+        help="fit the calibrated cluster's parameters to a measured "
+        "reference and emit a preset",
+    )
+    fit_parser.add_argument("reference", help="path to a measured reference JSON")
+    fit_parser.add_argument(
+        "--name", default="calibrated_local", metavar="NAME",
+        help="cluster name the emitted preset registers under "
+        "(default: calibrated_local)",
+    )
+    fit_parser.add_argument(
+        "--out", default="calibration_preset.json", metavar="PATH",
+        help="preset output path (default: calibration_preset.json)",
+    )
+    fit_parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="search seed; same seed + reference = same fit (default: 0)",
+    )
+    fit_parser.add_argument(
+        "--rounds", type=int, default=8, metavar="N",
+        help="coordinate-descent round budget (default: 8)",
+    )
+    fit_parser.add_argument(
+        "--step", type=float, default=2.0, metavar="X",
+        help="initial multiplicative descent step (default: 2.0)",
+    )
+    fit_parser.add_argument(
+        "--candidates", type=int, default=0, metavar="N",
+        help="enable the distributed stage with an N-candidate grid "
+        "through repro.sweep (default: 0 = off)",
+    )
+    fit_parser.add_argument(
+        "--placement", default="local",
+        help="sweep placement for --candidates (default: local)",
+    )
+    fit_parser.add_argument(
+        "--processes", type=int, default=1,
+        help="sweep worker count for --candidates (default: 1)",
+    )
+    fit_parser.add_argument(
+        "--optuna", choices=("auto", "yes", "no"), default="auto",
+        help="use Optuna TPE for the local stage: auto = when installed, "
+        "yes = require it, no = coordinate descent only (default: auto)",
+    )
+    fit_parser.add_argument(
+        "--optuna-trials", type=int, default=32, metavar="N",
+        help="TPE trial budget when Optuna runs (default: 32)",
+    )
+    fit_parser.add_argument(
+        "--util-weight", type=float, default=0.5, metavar="W",
+        help="weight of the per-rank compute-shape term (default: 0.5)",
+    )
+    fit_parser.add_argument(
+        "--makespan-tolerance", type=float, default=0.20, metavar="X",
+        help="acceptance gate on the fitted per-entry makespan error; "
+        "recorded in the preset for `check` (default: 0.20)",
+    )
+    fit_parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the full fit report (stages, scores) here",
+    )
+    fit_parser.set_defaults(func=_cmd_calibrate_fit)
+
+    check_parser = calibrate_sub.add_parser(
+        "check",
+        help="re-score a fitted preset against its embedded reference "
+        "and fail on drift",
+    )
+    check_parser.add_argument("preset", help="path to a fitted preset JSON")
+    check_parser.add_argument(
+        "--makespan-tolerance", type=float, default=None, metavar="X",
+        help="override the preset's recorded makespan tolerance",
+    )
+    check_parser.add_argument(
+        "--score-tolerance", type=float, default=None, metavar="X",
+        help="override the preset's recorded score-drift tolerance",
+    )
+    check_parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the drift report JSON here",
+    )
+    check_parser.set_defaults(func=_cmd_calibrate_check)
     return parser
 
 

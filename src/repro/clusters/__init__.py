@@ -24,6 +24,7 @@ from repro.clusters.machines import (
     list_machines,
 )
 from repro.clusters.presets import (
+    calibrated_cluster,
     ethernet_adsl,
     ethernet_wan,
     local_cluster,
@@ -70,6 +71,16 @@ register_cluster("ethernet_wan")(ethernet_wan)
 register_cluster("ethernet_adsl")(ethernet_adsl)
 register_cluster("local_cluster")(local_cluster)
 register_cluster("uniform_cluster")(uniform_cluster)
+register_cluster("calibrated")(calibrated_cluster)
+
+# Fitted presets emitted by `repro calibrate` ship inside the
+# repro.calibrate package and register themselves here, so scenario
+# dicts can name them without any explicit calibrate import.  The
+# presets module keeps its top-level imports light (stdlib + this
+# package) precisely so this late import cannot cycle.
+from repro.calibrate.presets import register_shipped_presets  # noqa: E402
+
+register_shipped_presets()
 
 __all__ = [
     "CLUSTER_REGISTRY",
@@ -87,4 +98,5 @@ __all__ = [
     "ethernet_adsl",
     "local_cluster",
     "uniform_cluster",
+    "calibrated_cluster",
 ]

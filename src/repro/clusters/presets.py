@@ -155,8 +155,10 @@ def local_cluster(
 ) -> Network:
     """The local heterogeneous cluster of Figure 3 (100 Mb Ethernet).
 
-    One switched LAN, machine types interleaved so each type appears in
-    (merely) equal numbers.
+    One switched LAN; machine types are interleaved host by host, so
+    the three types appear in equal numbers (the paper's logical
+    organisation, chosen "in order to preserve the scalability
+    feature").
     """
     network = Network()
     hosts = _interleaved_hosts(n_hosts, machine_mix, n_sites=1, speed_scale=speed_scale)
@@ -192,4 +194,55 @@ def uniform_cluster(
     return network
 
 
-__all__ = ["ethernet_wan", "ethernet_adsl", "local_cluster", "uniform_cluster"]
+def calibrated_cluster(
+    n_hosts: int = 4,
+    speed: float = 1.0e8,
+    host_speeds: Optional[Sequence[float]] = None,
+    latency: float = LAN_LATENCY,
+    bandwidth: float = mbit(100.0),
+) -> Network:
+    """Single-switch cluster whose free parameters are the calibration
+    search space (:mod:`repro.calibrate`).
+
+    ``speed`` is the uniform effective host speed in flop/s;
+    ``host_speeds`` optionally lists per-host speeds instead (cycled
+    when shorter than ``n_hosts``).  ``latency``/``bandwidth`` shape
+    the one shared LAN link every route uses.  Every parameter is a
+    plain JSON number (or list of numbers), so fitted values embed
+    directly in scenario ``cluster_params`` and survive the sweep
+    executor's content-hash coalescing.
+    """
+    if n_hosts < 1:
+        raise ValueError("n_hosts must be >= 1")
+    if host_speeds is not None and len(host_speeds) == 0:
+        raise ValueError("host_speeds must not be empty")
+    network = Network()
+    lan = network.add_link(
+        Link(name="lan-calibrated", latency=latency, bandwidth=bandwidth)
+    )
+    hosts = []
+    for i in range(n_hosts):
+        host_speed = (
+            float(host_speeds[i % len(host_speeds)])
+            if host_speeds is not None
+            else float(speed)
+        )
+        hosts.append(
+            network.add_host(
+                Host(name=f"cal-node{i}", speed=host_speed, site="site0")
+            )
+        )
+    for a in hosts:
+        for b in hosts:
+            if a.name != b.name:
+                network.add_route(a, b, [lan])
+    return network
+
+
+__all__ = [
+    "ethernet_wan",
+    "ethernet_adsl",
+    "local_cluster",
+    "uniform_cluster",
+    "calibrated_cluster",
+]

@@ -106,7 +106,13 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate ``q``-quantile (0..1) from the bucket counts."""
+        """Approximate ``q``-quantile (0..1) from the bucket counts.
+
+        The interpolated value is clamped to ``[self.min, self.max]``:
+        bucket bounds only say which *range* an observation fell in, so
+        without the clamp a single 0.9s observation in the (0.5, 1.0]
+        bucket would report p50 = 0.75 -- below anything ever observed.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
@@ -122,7 +128,8 @@ class Histogram:
                     lo = self.bounds[i - 1] if i > 0 else 0.0
                     hi = self.bounds[i] if i < len(self.bounds) else self.max
                     fraction = 1.0 - (seen - target) / n
-                    return lo + (hi - lo) * fraction
+                    value = lo + (hi - lo) * fraction
+                    return min(max(value, self.min), self.max)
             return self.max
 
     def snapshot(self) -> Dict[str, Any]:

@@ -195,11 +195,14 @@ def run_sweep(
     progress:
         Optional callback invoked after each settlement with a dict
         (``key``, ``kind``, ``source``, ``completed``, ``distinct``,
-        plus pacing: ``elapsed_s``, ``rate`` in settlements/s and
-        ``eta_s``, the remaining-work estimate at the current rate,
-        ``None`` until a rate exists).  Called *after* the settlement
-        is durable, so a callback that raises (or a process killed
-        inside one) never loses settled work.
+        ``resumed``, ``cache_hits``, plus pacing: ``elapsed_s``,
+        ``rate`` in *executed* settlements/s -- journal-resumed and
+        cache-hit units settle in ~0s and are excluded so a resumed
+        sweep's pace stays honest -- and ``eta_s``, the remaining-work
+        estimate at that live rate, ``None`` until a rate exists).
+        Called *after* the settlement is durable, so a callback that
+        raises (or a process killed inside one) never loses settled
+        work.
 
     Returns
     -------
@@ -287,13 +290,20 @@ def run_sweep(
 
     metrics = MetricsRegistry()
     sweep_started = time.monotonic()
+    #: Settlements that actually executed this run.  Journal-resumed
+    #: and cache-hit units settle in ~0s, so folding them into the
+    #: pace would make a resumed sweep's ETA wildly optimistic; the
+    #: rate is live work per second, nothing else.
+    live = {"settled": 0}
 
     def notify(key: str, kind: str, source: str) -> None:
+        if source == SOURCE_EXECUTED:
+            live["settled"] += 1
         if progress is None:
             return
         completed = len(settled)
         elapsed = time.monotonic() - sweep_started
-        rate = completed / elapsed if elapsed > 0 else 0.0
+        rate = live["settled"] / elapsed if elapsed > 0 else 0.0
         remaining = counters["distinct"] - completed
         progress(
             {
@@ -302,6 +312,8 @@ def run_sweep(
                 "source": source,
                 "completed": completed,
                 "distinct": counters["distinct"],
+                "resumed": counters["resumed"],
+                "cache_hits": counters["cache_hits"],
                 "elapsed_s": round(elapsed, 3),
                 "rate": round(rate, 3),
                 "eta_s": round(remaining / rate, 3) if rate > 0 else None,

@@ -221,6 +221,30 @@ class TestMetrics:
         with pytest.raises(ValueError):
             Histogram(buckets=(1.0, 0.5))
 
+    def test_quantile_clamped_to_observed_range(self):
+        # Regression: a single 0.9s observation in the (0.5, 1.0] bucket
+        # used to interpolate p50 = 0.75 -- below anything ever observed.
+        h = Histogram(buckets=(0.5, 1.0))
+        h.observe(0.9)
+        for q in (0.0, 0.5, 1.0):
+            assert h.quantile(q) == pytest.approx(0.9)
+
+    def test_quantile_empty_histogram_is_zero(self):
+        h = Histogram()
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(0.0) == 0.0
+
+    def test_quantile_overflow_bucket_stays_within_observations(self):
+        # Overflow-bucket observations have no upper bound; the clamp
+        # keeps every quantile inside [min, max] anyway.
+        h = Histogram(buckets=(0.1, 1.0))
+        h.observe(5.0)
+        h.observe(7.0)
+        assert 5.0 <= h.quantile(0.01) <= 7.0
+        assert 5.0 <= h.quantile(0.99) <= 7.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
     def test_registry_get_or_create_and_type_clash(self):
         reg = MetricsRegistry()
         assert reg.counter("a") is reg.counter("a")

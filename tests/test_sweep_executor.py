@@ -479,3 +479,80 @@ class TestSweepObservability:
         # absent (or empty), not polluted with ~0s cache lookups.
         latency = again.metrics["histograms"].get("unit_latency_s", {"count": 0})
         assert latency["count"] == 0
+
+
+class _SlowBackend(SimulatedBackend):
+    """Simulated backend with a fixed wall-clock cost per run, so the
+    pacing of live execution is measurable against journal-resumed
+    settlements (which cost ~0s)."""
+
+    import time as _time
+
+    delay = 0.05
+
+    def run(self, scenario, make_solver=None):
+        self._time.sleep(self.delay)
+        return super().run(scenario, make_solver)
+
+
+class TestResumedPacing:
+    """Regression: eta_s used to count journal-resumed (and cache-hit)
+    ~0s settlements in the completion rate, so a resumed sweep's ETA
+    was wildly optimistic.  The rate must reflect live work only."""
+
+    def _grid(self):
+        base = Scenario(problem="sparse_linear", problem_params={"n": 40},
+                        environment="pm2", n_ranks=2, seed=0)
+        return [base.derive(problem_params__n=n, name=f"pace-{n}")
+                for n in range(40, 72, 4)]  # 8 distinct units
+
+    def test_resumed_eta_reflects_live_rate_only(self, tmp_path):
+        import time
+
+        grid = self._grid()
+        state_dir = tmp_path / "state"
+        backend = _SlowBackend()
+
+        # Kill halfway: 4 of 8 units settle durably, >= 50% pre-settled
+        # on resume.
+        with pytest.raises(_Kill):
+            run_sweep(grid, backend=backend, state_dir=state_dir,
+                      progress=kill_after(4))
+
+        events = []
+
+        def progress(event):
+            events.append((time.monotonic(), event))
+
+        outcome = run_sweep(grid, backend=backend, state_dir=state_dir,
+                            resume=True, progress=progress)
+        assert outcome.counters["resumed"] == 4
+        assert outcome.counters["executed"] == 4
+
+        # Resumed settlements land first and carry no live rate yet.
+        resumed = [e for _, e in events if e["source"] == "resumed"]
+        assert len(resumed) == 4
+        assert all(e["eta_s"] is None for e in resumed)
+
+        # Once live execution starts, every event reports the
+        # pre-settled split, so a consumer can tell 8-completed-in-1s
+        # from 4-resumed-plus-4-run.
+        for _, event in events:
+            assert event["cache_hits"] == 0
+            if event["source"] == "executed":
+                assert event["resumed"] == 4
+
+        # At each executed settlement, eta_s must be within 2x of the
+        # wall time actually remaining (the old completed/elapsed rate
+        # predicted ~an eighth of it at the first executed event).
+        executed = [(t, e) for t, e in events if e["source"] == "executed"]
+        assert len(executed) == 4
+        end = executed[-1][0]
+        for settled_at, event in executed[:-1]:
+            actual_remaining = end - settled_at
+            assert event["eta_s"] is not None
+            assert event["eta_s"] <= 2.0 * actual_remaining
+            assert event["eta_s"] >= 0.5 * actual_remaining
+        final = executed[-1][1]
+        assert final["completed"] == final["distinct"] == 8
+        assert final["eta_s"] in (None, 0.0)
